@@ -1,0 +1,40 @@
+//! Figure 10: hardware bitrate vs software over months of rate-control
+//! tuning (BD-rate of the hardware toolset against the software
+//! encoders at each month's tuning level).
+//!
+//! Set `VCU_FULL=1` for more clips. Run with:
+//! `cargo run --release -p vcu-bench --bin fig10`
+
+use vcu_system::experiments::fig10;
+use vcu_workloads::{suite, SuiteScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = if std::env::var("VCU_FULL").is_ok() {
+        SuiteScale::Full
+    } else {
+        SuiteScale::Quick
+    };
+    // A content mix: screen, talking-head, ugc, gaming, high-motion.
+    let clips: Vec<_> = suite(scale)
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % 3 == 0)
+        .map(|(_, c)| c.video())
+        .collect();
+    println!(
+        "Figure 10: VCU bitrate vs software at iso-quality over {} clips",
+        clips.len()
+    );
+    println!("(paper: starts ≈ +10-12%, converges to ≈ 0 / below by month ~14)\n");
+    println!(
+        "{:<7} {:>6} {:>12} {:>12}",
+        "month", "level", "H.264 Δ%", "VP9 Δ%"
+    );
+    for p in fig10(16, &clips, &[20, 28, 36, 44])? {
+        println!(
+            "{:<7} {:>6} {:>11.1}% {:>11.1}%",
+            p.month, p.level, p.h264_delta_pct, p.vp9_delta_pct
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Figure 8: per-VCU throughput for production-like MOT vs SOT workers.
+//!
+//! Run with: `cargo run --release -p vcu-bench --bin fig8`
+
+use vcu_system::experiments::{cov, fig8, mean};
+
+fn main() {
+    let data = fig8(8, 1200.0, 7);
+    println!("Figure 8: throughput per VCU, production workload (Mpix/s)");
+    println!("(paper: MOT ≈ 400 steady, SOT ≈ 250 with more variability)\n");
+    println!("{:<8} {:>10} {:>10}", "sample", "MOT", "SOT");
+    let n = data.mot.len().max(data.sot.len());
+    for i in 0..n {
+        println!(
+            "{:<8} {:>10.0} {:>10.0}",
+            i + 1,
+            data.mot.get(i).copied().unwrap_or(f64::NAN),
+            data.sot.get(i).copied().unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "\nmean: MOT {:.0} Mpix/s (cov {:.2}), SOT {:.0} Mpix/s (cov {:.2}), ratio {:.2}x",
+        mean(&data.mot),
+        cov(&data.mot),
+        mean(&data.sot),
+        cov(&data.sot),
+        mean(&data.mot) / mean(&data.sot).max(1e-9)
+    );
+}

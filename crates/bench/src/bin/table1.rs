@@ -1,0 +1,71 @@
+//! Table 1: offline two-pass SOT throughput and perf/TCO, plus the
+//! §4.1 MOT and perf/watt results.
+//!
+//! Run with: `cargo run --release -p vcu-bench --bin table1`
+
+use vcu_chip::{System, WorkloadShape};
+use vcu_cluster::tco::perf_per_tco_normalized;
+use vcu_codec::Profile;
+
+fn cell(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:>8.0}")).unwrap_or_else(|| format!("{:>8}", "-"))
+}
+
+fn ratio(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:>7.1}x")).unwrap_or_else(|| format!("{:>8}", "-"))
+}
+
+fn main() {
+    let shape = WorkloadShape::SotTwoPass;
+    println!("Table 1: offline two-pass single-output (SOT) throughput and perf/TCO");
+    println!("(paper: Skylake 714/154 | 4xT4 2484/- | 8xVCU 5973/6122 | 20xVCU 14932/15306 Mpix/s;");
+    println!(" perf/TCO 1.0/1.0 | 1.5/- | 4.4/20.8 | 7.0/33.3)\n");
+    println!(
+        "{:<12} {:>8} {:>8}   {:>8} {:>8}",
+        "System", "H264", "VP9", "pTCO264", "pTCOvp9"
+    );
+    for sys in System::table1() {
+        let h = sys.throughput_mpix_s(Profile::H264Sim, shape);
+        let v = sys.throughput_mpix_s(Profile::Vp9Sim, shape);
+        let ph = perf_per_tco_normalized(sys, Profile::H264Sim, shape);
+        let pv = perf_per_tco_normalized(sys, Profile::Vp9Sim, shape);
+        println!(
+            "{:<12} {} {}   {} {}",
+            sys.label(),
+            cell(h),
+            cell(v),
+            ratio(ph),
+            ratio(pv)
+        );
+    }
+
+    println!("\nMOT vs SOT per VCU (paper: MOT 1.2-1.3x higher; 976/927 Mpix/s):");
+    for p in [Profile::H264Sim, Profile::Vp9Sim] {
+        let v = System::VcuHost { vcus: 1 };
+        let sot = v.throughput_mpix_s(p, WorkloadShape::SotTwoPass).unwrap();
+        let mot = v.throughput_mpix_s(p, WorkloadShape::MotTwoPass).unwrap();
+        println!(
+            "  {:<5} SOT {:>5.0}  MOT {:>5.0}  ratio {:.2}x",
+            p.to_string(),
+            sot,
+            mot,
+            mot / sot
+        );
+    }
+
+    println!("\nPerf/watt vs CPU (paper: 6.7x H.264 SOT, 68.9x VP9 MOT):");
+    let v20 = System::VcuHost { vcus: 20 };
+    let h_sot = v20
+        .perf_per_watt(Profile::H264Sim, WorkloadShape::SotTwoPass)
+        .unwrap()
+        / System::SkylakeCpu
+            .perf_per_watt(Profile::H264Sim, WorkloadShape::SotTwoPass)
+            .unwrap();
+    let v_mot = v20
+        .perf_per_watt(Profile::Vp9Sim, WorkloadShape::MotTwoPass)
+        .unwrap()
+        / System::SkylakeCpu
+            .perf_per_watt(Profile::Vp9Sim, WorkloadShape::MotTwoPass)
+            .unwrap();
+    println!("  H.264 SOT: {h_sot:.1}x    VP9 MOT: {v_mot:.1}x");
+}

@@ -1,0 +1,48 @@
+//! Table 2 + Appendix A: host resource scaling, network-bound ceiling,
+//! VCU DRAM sizing, and attachment limits.
+//!
+//! Run with: `cargo run --release -p vcu-bench --bin table2`
+
+use vcu_system::balance::{
+    attachment_limits, dram_sizing, host_scaling, network_ceiling_gpix_s,
+};
+
+fn main() {
+    let ceiling = network_ceiling_gpix_s();
+    println!("Appendix A.2: network-bound transcoding ceiling");
+    println!("  100 Gbps NIC x 6.1 pix/bit / 2 (upload headroom) / 2 (RPC+overheads)");
+    println!("  = {ceiling:.0} Gpix/s per host (paper: ~153)\n");
+
+    let h = host_scaling(153.0);
+    println!("Table 2: host resources scaled for 153 Gpix/s (paper: 42+13 cores, 214+300 Gbps)");
+    println!("{:<26} {:>14} {:>16}", "Use", "Logical cores", "DRAM bandwidth");
+    println!(
+        "{:<26} {:>14.0} {:>12.0} Gbps",
+        "Transcoding overheads", h.transcode_cores, h.transcode_dram_gbps
+    );
+    println!(
+        "{:<26} {:>14.0} {:>12.0} Gbps",
+        "Network & RPC", h.network_cores, h.network_dram_gbps
+    );
+    println!(
+        "{:<26} {:>14.0} {:>12.0} Gbps",
+        "Total", h.total_cores(), h.total_dram_gbps()
+    );
+    println!("  (host provides ~100 cores / ~1600 Gbps: about half used)\n");
+
+    let d = dram_sizing(153.0, 150);
+    println!("Appendix A.4: VCU DRAM sizing at the network limit");
+    println!(
+        "  low-latency SOT: {:.0} GiB   offline two-pass: {:.0} GiB   available (150 VCUs x 8 GiB): {:.0} GiB",
+        d.sot_low_latency_gib, d.offline_two_pass_gib, d.available_gib
+    );
+    println!("  (paper: 150 GiB / 750 GiB; 8 GiB per VCU suffices, 4 GiB would not)\n");
+
+    let l = attachment_limits();
+    println!("Appendix A.2/A.5: VCU attachment ceilings per host");
+    println!(
+        "  real-time: {:.0} VCUs   offline two-pass: {:.0} VCUs   production choice: {} VCUs",
+        l.realtime_vcus, l.offline_vcus, l.chosen
+    );
+    println!("  (paper: 30 / 150 / 20 — conservative for failure-domain size)");
+}

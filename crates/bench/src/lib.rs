@@ -1,0 +1,4 @@
+//! Experiment harness crate: see the `bin/` targets (one per paper
+//! table/figure) and `benches/` (Criterion microbenchmarks). The
+//! library itself is intentionally empty — everything lives in the
+//! binaries so each experiment is a self-contained, runnable artifact.

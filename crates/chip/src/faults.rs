@@ -1,0 +1,220 @@
+//! VCU fault model: health state machine, ECC accounting, golden
+//! self-test, and output corruption.
+//!
+//! §4.4's failure-management machinery needs hardware that can actually
+//! fail: a [`FaultyVcu`] tracks ECC error rates, can be silently
+//! *corrupting* (the dangerous "fast but wrong" black-hole mode), and
+//! supports the worker-attach golden transcode — a short deterministic
+//! encode whose output checksum is compared against a known-good value,
+//! "relying on the core's deterministic behavior".
+
+use vcu_codec::{encode, EncoderConfig, Profile, Qp, TuningLevel};
+use vcu_media::synth::{ContentClass, SynthSpec};
+use vcu_media::Resolution;
+
+/// Health state of one VCU (§4.4: the VCU is the lowest level of fault
+/// management; failed VCUs are disabled while the host stays in service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Operating normally.
+    Healthy,
+    /// Producing corrupt output while still accepting work at full
+    /// speed — the "black-holing" hazard (§4.4).
+    SilentlyCorrupting,
+    /// Disabled by fault management; takes no work.
+    Disabled,
+}
+
+/// Fault/telemetry state of one VCU.
+#[derive(Debug, Clone)]
+pub struct FaultyVcu {
+    state: HealthState,
+    /// Correctable ECC errors observed.
+    pub correctable_ecc: u64,
+    /// Uncorrectable ECC errors observed.
+    pub uncorrectable_ecc: u64,
+    /// Telemetry: resets performed.
+    pub resets: u64,
+    /// Seed making this VCU's corruption pattern deterministic.
+    corruption_seed: u64,
+}
+
+/// Correctable-ECC threshold that trips the repair flow (§4.4: "high
+/// levels of correctable or uncorrectable faults will result in
+/// disabling the VCU").
+pub const CORRECTABLE_ECC_LIMIT: u64 = 1000;
+/// Uncorrectable-ECC threshold.
+pub const UNCORRECTABLE_ECC_LIMIT: u64 = 3;
+
+impl FaultyVcu {
+    /// A healthy VCU.
+    pub fn new(seed: u64) -> Self {
+        FaultyVcu {
+            state: HealthState::Healthy,
+            correctable_ecc: 0,
+            uncorrectable_ecc: 0,
+            resets: 0,
+            corruption_seed: seed,
+        }
+    }
+
+    /// Current health state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Injects a silent-corruption fault (e.g. a stuck SRAM bit that
+    /// double-error-detect misses).
+    pub fn inject_silent_corruption(&mut self) {
+        if self.state == HealthState::Healthy {
+            self.state = HealthState::SilentlyCorrupting;
+        }
+    }
+
+    /// Records ECC events from telemetry; may disable the VCU.
+    pub fn record_ecc(&mut self, correctable: u64, uncorrectable: u64) {
+        self.correctable_ecc += correctable;
+        self.uncorrectable_ecc += uncorrectable;
+        if self.correctable_ecc >= CORRECTABLE_ECC_LIMIT
+            || self.uncorrectable_ecc >= UNCORRECTABLE_ECC_LIMIT
+        {
+            self.state = HealthState::Disabled;
+        }
+    }
+
+    /// Administratively disables the VCU (fault-management decision).
+    pub fn disable(&mut self) {
+        self.state = HealthState::Disabled;
+    }
+
+    /// Functional reset performed by a newly attached worker (§4.4).
+    /// Resets clear transient state but not persistent silicon faults.
+    pub fn functional_reset(&mut self) {
+        self.resets += 1;
+    }
+
+    /// Whether the VCU accepts work.
+    pub fn accepts_work(&self) -> bool {
+        self.state != HealthState::Disabled
+    }
+
+    /// Passes encoded output through the (possibly faulty) hardware:
+    /// a corrupting VCU deterministically flips bytes in the payload.
+    pub fn taint(&self, mut payload: Vec<u8>) -> Vec<u8> {
+        if self.state == HealthState::SilentlyCorrupting && !payload.is_empty() {
+            // Deterministic corruption pattern derived from the seed.
+            let step = (self.corruption_seed % 97 + 50) as usize;
+            let mut i = (self.corruption_seed % 31) as usize;
+            while i < payload.len() {
+                payload[i] ^= 0x5A;
+                i += step;
+            }
+        }
+        payload
+    }
+}
+
+/// The golden transcode: a short, deterministic hardware-toolset encode
+/// of a fixed synthetic clip. Both the expected checksum and the check
+/// itself use the real codec, so any corruption in the data path shows.
+pub fn golden_transcode_bytes() -> Vec<u8> {
+    let video = SynthSpec::new(Resolution::R144, 2, ContentClass::screen_content(), 0x601D)
+        .generate();
+    let cfg = EncoderConfig::const_qp(Profile::H264Sim, Qp::new(32))
+        .with_hardware(TuningLevel::MATURE);
+    encode(&cfg, &video).expect("golden encode cannot fail").bytes
+}
+
+/// FNV-1a checksum of a byte stream (matches the container checksum
+/// primitive).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Runs the golden self-test against a VCU: encodes the golden clip,
+/// passes the result through the VCU's data path, and compares
+/// checksums. Returns `true` if the VCU is clean.
+pub fn golden_test(vcu: &FaultyVcu, expected: u64) -> bool {
+    if !vcu.accepts_work() {
+        return false;
+    }
+    let out = vcu.taint(golden_transcode_bytes());
+    checksum(&out) == expected
+}
+
+/// Computes the expected golden checksum on known-good hardware.
+pub fn golden_expected() -> u64 {
+    checksum(&golden_transcode_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_vcu_passes_golden() {
+        let vcu = FaultyVcu::new(7);
+        assert!(golden_test(&vcu, golden_expected()));
+    }
+
+    #[test]
+    fn corrupting_vcu_fails_golden() {
+        let mut vcu = FaultyVcu::new(7);
+        vcu.inject_silent_corruption();
+        assert_eq!(vcu.state(), HealthState::SilentlyCorrupting);
+        assert!(vcu.accepts_work(), "black-hole VCUs still accept work");
+        assert!(!golden_test(&vcu, golden_expected()));
+    }
+
+    #[test]
+    fn disabled_vcu_rejects_work() {
+        let mut vcu = FaultyVcu::new(1);
+        vcu.disable();
+        assert!(!vcu.accepts_work());
+        assert!(!golden_test(&vcu, golden_expected()));
+    }
+
+    #[test]
+    fn ecc_thresholds_disable() {
+        let mut vcu = FaultyVcu::new(1);
+        vcu.record_ecc(CORRECTABLE_ECC_LIMIT - 1, 0);
+        assert!(vcu.accepts_work());
+        vcu.record_ecc(1, 0);
+        assert_eq!(vcu.state(), HealthState::Disabled);
+
+        let mut vcu2 = FaultyVcu::new(2);
+        vcu2.record_ecc(0, UNCORRECTABLE_ECC_LIMIT);
+        assert_eq!(vcu2.state(), HealthState::Disabled);
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let mut a = FaultyVcu::new(99);
+        let mut b = FaultyVcu::new(99);
+        a.inject_silent_corruption();
+        b.inject_silent_corruption();
+        let payload = vec![1u8; 500];
+        assert_eq!(a.taint(payload.clone()), b.taint(payload.clone()));
+        assert_ne!(a.taint(payload.clone()), payload);
+    }
+
+    #[test]
+    fn golden_transcode_is_stable() {
+        // Same bytes every time — determinism is the whole point.
+        assert_eq!(golden_expected(), golden_expected());
+    }
+
+    #[test]
+    fn reset_does_not_heal_silicon() {
+        let mut vcu = FaultyVcu::new(3);
+        vcu.inject_silent_corruption();
+        vcu.functional_reset();
+        assert_eq!(vcu.state(), HealthState::SilentlyCorrupting);
+        assert_eq!(vcu.resets, 1);
+    }
+}

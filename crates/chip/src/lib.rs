@@ -1,0 +1,28 @@
+//! Functional + timing model of the Video Coding Unit (VCU) ASIC and
+//! the baseline systems it is compared against.
+//!
+//! Two complementary layers:
+//!
+//! - **Functional**: the real `vcu-codec` encoder with the hardware
+//!   toolset produces real bitstreams, and [`faults`] can corrupt them
+//!   the way failing silicon would — this is what quality experiments
+//!   and golden-test screening run on.
+//! - **Timing**: closed-form capacity models calibrated once in
+//!   [`calib`] from numbers the paper states — encoder-core pipeline
+//!   ([`encoder_core`]), DRAM bandwidth/footprints ([`dram`]),
+//!   whole-chip capacity and the §3.3.3 millicore resource mapping
+//!   ([`vcu`]), firmware queue dispatch ([`firmware`]), and the
+//!   Table-1 contender systems ([`devices`]).
+pub mod calib;
+pub mod devices;
+pub mod dram;
+pub mod encoder_core;
+pub mod faults;
+pub mod firmware;
+pub mod job;
+pub mod refstore;
+pub mod vcu;
+
+pub use devices::System;
+pub use job::{OutputVariant, TranscodeJob};
+pub use vcu::{ResourceDemand, VcuModel, WorkloadShape};

@@ -1,0 +1,25 @@
+//! Warehouse-cluster simulation: the distributed-systems half of the
+//! paper's co-design.
+//!
+//! - [`des`]: deterministic discrete-event core,
+//! - [`scheduler`]: the §3.3.3 multi-dimensional bin-packing work
+//!   scheduler with a sharded availability cache (plus the legacy
+//!   single-slot baseline for ablations),
+//! - [`sim`]: the cluster simulator tying scheduler, VCU fault models,
+//!   retries, black-holing mitigation and opportunistic software
+//!   decode together,
+//! - [`tco`]: the capex + 3-year-opex cost model behind Table 1's
+//!   perf/TCO column.
+pub mod des;
+pub mod pools;
+pub mod scheduler;
+pub mod sim;
+pub mod tco;
+
+pub use pools::{PoolId, PoolManager, UseCase};
+pub use scheduler::{Scheduler, SchedulerKind};
+pub use sim::{
+    ClusterConfig, ClusterReport, ClusterSim, FaultInjection, FaultKind, JobSpec, Priority,
+    Sample,
+};
+pub use tco::{perf_per_tco, perf_per_tco_normalized, system_tco, Tco};

@@ -1,0 +1,257 @@
+//! Logical compute pools and worker reallocation (§3.3.3).
+//!
+//! "Each cluster has multiple logical 'pools' of computing defined by
+//! use case (upload, live) and priority (critical, normal, batch) that
+//! trade-off resources based on each pool's demand … workers become
+//! idle when pool-level usage drops, at which point they may be
+//! stopped and reallocated to other pools in the cluster, maximizing
+//! cluster-wide VCU utilization. Another part of the scheduler sizes
+//! the workers based on workload mix demand."
+
+use crate::sim::Priority;
+use std::collections::BTreeMap;
+
+/// Use case served by a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UseCase {
+    /// Upload processing.
+    Upload,
+    /// Live streaming.
+    Live,
+    /// Batch reprocessing / archival.
+    Batch,
+}
+
+/// A pool identity: use case × priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId {
+    /// Use case.
+    pub use_case: UseCase,
+    /// Priority class.
+    pub priority: Priority,
+}
+
+/// Pool manager: tracks per-pool demand and reassigns whole workers
+/// between pools proportionally to demand, never leaving a pool with
+/// outstanding demand completely dry while another pool idles.
+#[derive(Debug, Clone)]
+pub struct PoolManager {
+    /// Workers assigned to each pool.
+    assignment: BTreeMap<PoolId, usize>,
+    /// Latest demand estimate per pool (queued + running jobs).
+    demand: BTreeMap<PoolId, f64>,
+    total_workers: usize,
+}
+
+impl PoolManager {
+    /// Creates a manager over `total_workers` workers, initially split
+    /// evenly across `pools`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is empty.
+    pub fn new(total_workers: usize, pools: &[PoolId]) -> Self {
+        assert!(!pools.is_empty(), "need at least one pool");
+        let mut assignment = BTreeMap::new();
+        let base = total_workers / pools.len();
+        let mut rem = total_workers % pools.len();
+        for &p in pools {
+            let extra = if rem > 0 {
+                rem -= 1;
+                1
+            } else {
+                0
+            };
+            assignment.insert(p, base + extra);
+        }
+        let demand = pools.iter().map(|&p| (p, 1.0)).collect();
+        PoolManager {
+            assignment,
+            demand,
+            total_workers,
+        }
+    }
+
+    /// Updates a pool's demand estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool does not exist or demand is negative/NaN.
+    pub fn report_demand(&mut self, pool: PoolId, demand: f64) {
+        assert!(demand >= 0.0 && demand.is_finite(), "invalid demand");
+        assert!(self.assignment.contains_key(&pool), "unknown pool");
+        self.demand.insert(pool, demand);
+    }
+
+    /// Current worker count of a pool.
+    pub fn workers_of(&self, pool: PoolId) -> usize {
+        self.assignment.get(&pool).copied().unwrap_or(0)
+    }
+
+    /// Rebalances workers proportionally to demand. Pools with zero
+    /// demand surrender all workers (they are "stopped and reallocated");
+    /// any pool with positive demand keeps at least one worker. Returns
+    /// the number of workers that moved.
+    pub fn rebalance(&mut self) -> usize {
+        let total_demand: f64 = self.demand.values().sum();
+        let before = self.assignment.clone();
+        if total_demand <= 0.0 {
+            // Nobody wants capacity; leave assignment alone.
+            return 0;
+        }
+        // Ideal fractional shares → largest-remainder rounding with a
+        // 1-worker floor for demanding pools.
+        let pools: Vec<PoolId> = self.assignment.keys().copied().collect();
+        let mut shares: Vec<(PoolId, f64)> = pools
+            .iter()
+            .map(|&p| (p, self.demand[&p] / total_demand * self.total_workers as f64))
+            .collect();
+        let mut granted: BTreeMap<PoolId, usize> = shares
+            .iter()
+            .map(|&(p, s)| {
+                let floor = if self.demand[&p] > 0.0 { 1 } else { 0 };
+                (p, (s as usize).max(floor).min(self.total_workers))
+            })
+            .collect();
+        // Distribute leftovers by largest remainder.
+        let mut used: usize = granted.values().sum();
+        shares.sort_by(|a, b| {
+            let ra = a.1 - a.1.floor();
+            let rb = b.1 - b.1.floor();
+            rb.total_cmp(&ra)
+        });
+        let mut idx = 0;
+        while used < self.total_workers && !shares.is_empty() {
+            let p = shares[idx % shares.len()].0;
+            if self.demand[&p] > 0.0 {
+                *granted.get_mut(&p).expect("pool exists") += 1;
+                used += 1;
+            }
+            idx += 1;
+            if idx > shares.len() * (self.total_workers + 2) {
+                break; // all demand zero-guarded
+            }
+        }
+        // Shed overshoot (floors can overcommit) from the largest pools.
+        while used > self.total_workers {
+            let (&p, _) = granted
+                .iter()
+                .max_by_key(|(_, &n)| n)
+                .expect("non-empty");
+            *granted.get_mut(&p).expect("pool exists") -= 1;
+            used -= 1;
+        }
+        self.assignment = granted;
+        // Count moves.
+        self.assignment
+            .iter()
+            .map(|(p, &n)| n.abs_diff(before[p]))
+            .sum::<usize>()
+            / 2
+    }
+
+    /// Total workers under management.
+    pub fn total_workers(&self) -> usize {
+        self.total_workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> Vec<PoolId> {
+        vec![
+            PoolId {
+                use_case: UseCase::Live,
+                priority: Priority::Critical,
+            },
+            PoolId {
+                use_case: UseCase::Upload,
+                priority: Priority::Normal,
+            },
+            PoolId {
+                use_case: UseCase::Batch,
+                priority: Priority::Batch,
+            },
+        ]
+    }
+
+    #[test]
+    fn initial_split_is_even() {
+        let m = PoolManager::new(10, &pools());
+        let counts: Vec<usize> = pools().iter().map(|&p| m.workers_of(p)).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().all(|&c| c == 3 || c == 4));
+    }
+
+    #[test]
+    fn demand_shifts_workers() {
+        let ps = pools();
+        let mut m = PoolManager::new(12, &ps);
+        m.report_demand(ps[0], 10.0); // live surge
+        m.report_demand(ps[1], 1.0);
+        m.report_demand(ps[2], 1.0);
+        let moved = m.rebalance();
+        assert!(moved > 0);
+        assert!(m.workers_of(ps[0]) >= 8, "live got {}", m.workers_of(ps[0]));
+        let total: usize = ps.iter().map(|&p| m.workers_of(p)).sum();
+        assert_eq!(total, 12, "workers conserved");
+    }
+
+    #[test]
+    fn idle_pool_surrenders_everything() {
+        let ps = pools();
+        let mut m = PoolManager::new(9, &ps);
+        m.report_demand(ps[0], 5.0);
+        m.report_demand(ps[1], 5.0);
+        m.report_demand(ps[2], 0.0); // batch drained
+        m.rebalance();
+        assert_eq!(m.workers_of(ps[2]), 0, "idle pool must release workers");
+        let total: usize = ps.iter().map(|&p| m.workers_of(p)).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn demanding_pool_never_starves() {
+        let ps = pools();
+        let mut m = PoolManager::new(4, &ps);
+        m.report_demand(ps[0], 1000.0);
+        m.report_demand(ps[1], 0.001); // tiny but nonzero
+        m.report_demand(ps[2], 0.0);
+        m.rebalance();
+        assert!(m.workers_of(ps[1]) >= 1, "nonzero demand keeps a worker");
+        let total: usize = ps.iter().map(|&p| m.workers_of(p)).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn zero_total_demand_is_stable() {
+        let ps = pools();
+        let mut m = PoolManager::new(6, &ps);
+        for &p in &ps {
+            m.report_demand(p, 0.0);
+        }
+        let before: Vec<usize> = ps.iter().map(|&p| m.workers_of(p)).collect();
+        assert_eq!(m.rebalance(), 0);
+        let after: Vec<usize> = ps.iter().map(|&p| m.workers_of(p)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn rebalance_conserves_under_many_updates() {
+        let ps = pools();
+        let mut m = PoolManager::new(20, &ps);
+        for round in 0..50u64 {
+            m.report_demand(ps[0], (round % 7) as f64);
+            m.report_demand(ps[1], ((round * 3) % 5) as f64);
+            m.report_demand(ps[2], ((round * 11) % 3) as f64);
+            m.rebalance();
+            let total: usize = ps.iter().map(|&p| m.workers_of(p)).sum();
+            assert!(
+                total == 20 || ps.iter().all(|&p| m.workers_of(p) == 0),
+                "round {round}: total {total}"
+            );
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The video-processing work scheduler (§3.3.3, Figure 6).
+//!
+//! The production design is an online multi-dimensional bin-packing
+//! scheduler: each worker advertises capacity in named scalar resource
+//! dimensions (millidecode, milliencode, DRAM bytes, host mCPU); a
+//! sharded in-memory availability cache is consulted by a worker
+//! picker that places each request first-fit by worker number. The
+//! paper contrasts this with the prior "uniform CPU cost model (fixed
+//! CPU-seconds/seconds per graph step)" — provided here as
+//! [`SchedulerKind::SingleSlot`] for the ablation experiment.
+
+use vcu_chip::ResourceDemand;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Multi-dimensional bin packing over named resources (the paper's
+    /// contribution).
+    MultiDim,
+    /// Legacy single-slot model: each worker runs at most `slots`
+    /// concurrent steps, ignoring the resource dimensions.
+    SingleSlot {
+        /// Concurrent steps per worker.
+        slots: u32,
+    },
+}
+
+/// One worker's entry in the availability cache.
+#[derive(Debug, Clone)]
+pub struct WorkerAvailability {
+    /// Remaining capacity across all dimensions.
+    pub available: ResourceDemand,
+    /// Jobs currently placed.
+    pub jobs: u32,
+    /// Whether the worker accepts new work (healthy + attached).
+    pub accepting: bool,
+}
+
+/// The sharded availability cache + worker picker.
+///
+/// Sharding models the paper's horizontally-scaled scheduler: workers
+/// are partitioned across shards and a request only consults its
+/// shard's cache (consistent with "sharded, in-memory availability
+/// cache of all workers").
+#[derive(Debug)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    shards: usize,
+    workers: Vec<WorkerAvailability>,
+    /// Statistics: placements attempted/succeeded.
+    pub placements: u64,
+    /// Requests that found no worker.
+    pub rejections: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler over `n_workers` workers, each with the
+    /// standard VCU worker capacity, in `shards` shards.
+    pub fn new(kind: SchedulerKind, n_workers: usize, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        Scheduler {
+            kind,
+            shards,
+            workers: (0..n_workers)
+                .map(|_| WorkerAvailability {
+                    available: ResourceDemand::vcu_capacity(),
+                    jobs: 0,
+                    accepting: true,
+                })
+                .collect(),
+            placements: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Read a worker's availability.
+    pub fn worker(&self, w: usize) -> &WorkerAvailability {
+        &self.workers[w]
+    }
+
+    /// Marks a worker as (not) accepting work (fault management /
+    /// pool reallocation).
+    pub fn set_accepting(&mut self, w: usize, accepting: bool) {
+        self.workers[w].accepting = accepting;
+    }
+
+    /// Places a request, returning the chosen worker index. First-fit
+    /// by worker number within the request's shard, then the other
+    /// shards (work spills when local capacity is unavailable, like
+    /// the paper's cross-cluster spill).
+    pub fn place(&mut self, demand: ResourceDemand, shard_hint: usize) -> Option<usize> {
+        let n = self.workers.len();
+        let shard_size = n.div_ceil(self.shards.max(1)).max(1);
+        let home = (shard_hint % self.shards.max(1)) * shard_size;
+        self.place_from(demand, home, n)
+    }
+
+    /// Places a request scanning at most `window` workers starting at
+    /// `start` (wrapping). `window = n_workers` is an unbounded scan;
+    /// smaller windows implement the §4.4 future-work enhancement of
+    /// consistent-hashing videos onto a bounded VCU subset to shrink
+    /// blast radius.
+    pub fn place_from(
+        &mut self,
+        demand: ResourceDemand,
+        start: usize,
+        window: usize,
+    ) -> Option<usize> {
+        let n = self.workers.len();
+        if n == 0 || window == 0 {
+            self.rejections += 1;
+            return None;
+        }
+        for off in 0..window.min(n) {
+            let w = (start + off) % n;
+            if self.try_place_at(w, demand) {
+                self.placements += 1;
+                return Some(w);
+            }
+        }
+        self.rejections += 1;
+        None
+    }
+
+    fn try_place_at(&mut self, w: usize, demand: ResourceDemand) -> bool {
+        let worker = &mut self.workers[w];
+        if !worker.accepting {
+            return false;
+        }
+        match self.kind {
+            SchedulerKind::MultiDim => {
+                if demand.fits_in(worker.available) {
+                    worker.available = worker.available.minus(demand);
+                    worker.jobs += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            SchedulerKind::SingleSlot { slots } => {
+                if worker.jobs < slots {
+                    // The legacy model does not track dimensions; it
+                    // still consumes them physically (so utilization
+                    // accounting stays honest), but placement ignores
+                    // overflow — mirroring how a uniform cost model
+                    // both strands and oversubscribes real resources.
+                    worker.available = worker.available.minus(demand);
+                    worker.jobs += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Releases a previously placed request.
+    pub fn release(&mut self, w: usize, demand: ResourceDemand) {
+        let worker = &mut self.workers[w];
+        worker.available = worker.available.plus(demand);
+        worker.jobs = worker.jobs.saturating_sub(1);
+        // Clamp to capacity in case of asymmetric release.
+        let cap = ResourceDemand::vcu_capacity();
+        if !worker.available.fits_in(cap) {
+            worker.available = ResourceDemand {
+                millidecode: worker.available.millidecode.min(cap.millidecode),
+                milliencode: worker.available.milliencode.min(cap.milliencode),
+                dram_mib: worker.available.dram_mib.min(cap.dram_mib),
+                host_mcpu: worker.available.host_mcpu.min(cap.host_mcpu),
+            };
+        }
+    }
+
+    /// Fraction of total encode millicores currently in use (the
+    /// cluster-wide encoder utilization the paper maximizes).
+    pub fn encode_utilization(&self) -> f64 {
+        let cap = ResourceDemand::vcu_capacity().milliencode as f64;
+        let used: f64 = self
+            .workers
+            .iter()
+            .map(|w| cap - w.available.milliencode as f64)
+            .sum();
+        used / (cap * self.workers.len() as f64)
+    }
+
+    /// Fraction of total decode millicores in use.
+    pub fn decode_utilization(&self) -> f64 {
+        let cap = ResourceDemand::vcu_capacity().millidecode as f64;
+        let used: f64 = self
+            .workers
+            .iter()
+            .map(|w| cap - w.available.millidecode as f64)
+            .sum();
+        used / (cap * self.workers.len() as f64)
+    }
+
+    /// Workers that are fully idle (candidates for pool reallocation;
+    /// Figure 6's "Worker N … is a candidate for being stopped").
+    pub fn idle_workers(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.jobs == 0 && w.accepting)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(d: u32, e: u32) -> ResourceDemand {
+        ResourceDemand {
+            millidecode: d,
+            milliencode: e,
+            dram_mib: 100,
+            host_mcpu: 50,
+        }
+    }
+
+    #[test]
+    fn figure6_example() {
+        // Worker 0: decode exhausted; Worker 1 has capacity; request
+        // {D 500, E 3750} goes to worker 1.
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 3, 1);
+        // Drain worker 0's decode.
+        assert_eq!(s.place(demand(3000, 3000), 0), Some(0));
+        let placed = s.place(demand(500, 3750), 0);
+        assert_eq!(placed, Some(1), "request must skip decode-starved worker 0");
+    }
+
+    #[test]
+    fn first_fit_by_worker_number() {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 4, 1);
+        assert_eq!(s.place(demand(100, 100), 0), Some(0));
+        assert_eq!(s.place(demand(100, 100), 0), Some(0), "packs onto first fit");
+    }
+
+    #[test]
+    fn rejection_when_full() {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 1, 1);
+        assert!(s.place(demand(3000, 10000), 0).is_some());
+        assert!(s.place(demand(1, 1), 0).is_none());
+        assert_eq!(s.rejections, 1);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 1, 1);
+        let d = demand(3000, 10000);
+        let w = s.place(d, 0).unwrap();
+        s.release(w, d);
+        assert!(s.place(demand(1000, 1000), 0).is_some());
+    }
+
+    #[test]
+    fn single_slot_ignores_dimensions() {
+        let mut s = Scheduler::new(SchedulerKind::SingleSlot { slots: 2 }, 1, 1);
+        // Two tiny jobs fill both slots even though resources remain.
+        assert!(s.place(demand(10, 10), 0).is_some());
+        assert!(s.place(demand(10, 10), 0).is_some());
+        assert!(s.place(demand(10, 10), 0).is_none(), "slot limit binds");
+    }
+
+    #[test]
+    fn non_accepting_workers_skipped() {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 2, 1);
+        s.set_accepting(0, false);
+        assert_eq!(s.place(demand(100, 100), 0), Some(1));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 2, 1);
+        assert_eq!(s.encode_utilization(), 0.0);
+        s.place(demand(0, 10000), 0);
+        assert!((s.encode_utilization() - 0.5).abs() < 1e-9);
+        s.place(demand(3000, 0), 0);
+        assert!((s.decode_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_worker_detection() {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 3, 1);
+        s.place(demand(100, 100), 0);
+        assert_eq!(s.idle_workers(), vec![1, 2]);
+    }
+
+    #[test]
+    fn sharding_spreads_home_workers() {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 4, 2);
+        // Shard hint 1 starts scanning at worker 2.
+        assert_eq!(s.place(demand(100, 100), 1), Some(2));
+        assert_eq!(s.place(demand(100, 100), 0), Some(0));
+    }
+}

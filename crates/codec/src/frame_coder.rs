@@ -1,0 +1,1065 @@
+//! Whole-frame encoding and decoding.
+//!
+//! [`encode_frame`] and [`decode_frame`] walk the identical superblock
+//! syntax; the encoder makes mode decisions and writes symbols, the
+//! decoder reads symbols and replays the reconstruction. Both end with
+//! the same in-loop deblocking pass, so the encoder's reconstruction
+//! (used as the next frame's reference) equals the decoder's output
+//! bit-for-bit — the determinism the paper's golden-transcode fault
+//! screening depends on (§4.4).
+
+use crate::block::{compute_residual, decode_tile, encode_tile, for_each_tile};
+use crate::config::EncoderConfig;
+use crate::deblock::deblock_plane;
+use crate::entropy::{read_int, read_uint, write_int, write_uint, BoolDecoder, BoolEncoder};
+use crate::intra::{IntraMode, IntraNeighbors};
+use crate::models::Models;
+use crate::motion::{mc_block, satd, search, SearchParams};
+use crate::stats::CodingStats;
+use crate::types::{CodecError, FrameKind, MotionVector, Profile, Qp};
+use vcu_media::{Frame, Plane};
+
+/// Reference-slot file: LAST / GOLDEN / ALTREF.
+#[derive(Debug, Clone, Default)]
+pub struct RefSlots {
+    slots: [Option<Frame>; 3],
+}
+
+impl RefSlots {
+    /// Empty slot file.
+    pub fn new() -> Self {
+        RefSlots::default()
+    }
+
+    /// References available to `profile`, in slot order. The H.264-like
+    /// profile sees at most one (LAST).
+    pub fn available(&self, profile: Profile) -> Vec<&Frame> {
+        self.slots
+            .iter()
+            .take(profile.max_references())
+            .filter_map(|s| s.as_ref())
+            .collect()
+    }
+
+    /// Applies the refresh rule for a coded frame of `kind`.
+    pub fn apply_refresh(&mut self, kind: FrameKind, recon: &Frame) {
+        match kind {
+            FrameKind::Key => {
+                self.slots = [
+                    Some(recon.clone()),
+                    Some(recon.clone()),
+                    Some(recon.clone()),
+                ];
+            }
+            FrameKind::Inter => self.slots[0] = Some(recon.clone()),
+            FrameKind::AltRef => self.slots[2] = Some(recon.clone()),
+        }
+    }
+}
+
+/// Deblocking grid per profile (the transform granularity).
+fn deblock_grid(profile: Profile) -> usize {
+    match profile {
+        Profile::H264Sim => 8,
+        Profile::Vp9Sim => 16,
+    }
+}
+
+/// Maximum transform size per profile.
+fn max_tx(profile: Profile) -> usize {
+    match profile {
+        Profile::H264Sim => 8,
+        Profile::Vp9Sim => 32,
+    }
+}
+
+/// Intra modes per profile.
+fn intra_modes(profile: Profile) -> &'static [IntraMode] {
+    match profile {
+        Profile::H264Sim => &IntraMode::H264_MODES,
+        Profile::Vp9Sim => &IntraMode::VP9_MODES,
+    }
+}
+
+/// Decides whether a residual block prefers the half-size transform:
+/// when residual energy is concentrated in a few sub-tiles (sharp
+/// edges, sprite boundaries), the big transform smears it across many
+/// coefficients; a heterogeneity test catches exactly that case.
+fn tx_split_heuristic(residual: &[i16], bw: usize, bh: usize, t: usize, qp: Qp) -> bool {
+    let half = t / 2;
+    let mut max_mad = 0.0f64;
+    let mut sum_mad = 0.0f64;
+    let mut n_tiles = 0u32;
+    let mut ty = 0;
+    while ty < bh {
+        let th = half.min(bh - ty);
+        let mut tx = 0;
+        while tx < bw {
+            let tw = half.min(bw - tx);
+            let mut acc = 0u64;
+            for r in 0..th {
+                for c in 0..tw {
+                    acc += residual[(ty + r) * bw + tx + c].unsigned_abs() as u64;
+                }
+            }
+            let mad = acc as f64 / (tw * th) as f64;
+            max_mad = max_mad.max(mad);
+            sum_mad += mad;
+            n_tiles += 1;
+            tx += half;
+        }
+        ty += half;
+    }
+    if n_tiles < 2 {
+        return false;
+    }
+    let mean_mad = sum_mad / n_tiles as f64;
+    // Heterogeneous residual that actually matters at this QP.
+    max_mad > 2.5 * (mean_mad + 0.5) && max_mad > qp.step() * 0.25
+}
+
+/// Estimated syntax bits for coding `mv` against `pred` (RDO pricing).
+fn mv_bits_estimate(mv: MotionVector, pred: MotionVector) -> f64 {
+    let dx = (mv.x - pred.x).unsigned_abs() as f64;
+    let dy = (mv.y - pred.y).unsigned_abs() as f64;
+    4.0 + 2.0 * ((dx + 1.0).log2() + (dy + 1.0).log2())
+}
+
+/// A leaf-block coding decision.
+#[derive(Debug, Clone)]
+enum BlockMode {
+    Intra(IntraMode),
+    Inter {
+        ref_idx: usize,
+        mv: MotionVector,
+        compound: Option<(usize, MotionVector)>,
+    },
+}
+
+/// Encodes one frame. Returns the arithmetic payload and the
+/// reconstruction (post-deblock) that becomes reference state.
+pub fn encode_frame(
+    cfg: &EncoderConfig,
+    cur: &Frame,
+    kind: FrameKind,
+    qp: Qp,
+    refs: &RefSlots,
+    stats: &mut CodingStats,
+) -> (Vec<u8>, Frame) {
+    let mut fe = FrameEnc {
+        cfg,
+        cur,
+        refs: if kind == FrameKind::Key {
+            Vec::new()
+        } else {
+            refs.available(cfg.profile)
+        },
+        qp,
+        enc: BoolEncoder::new(),
+        models: Models::new(),
+        recon: Frame::new(cur.width(), cur.height()),
+        last_mv: MotionVector::ZERO,
+        search: cfg.toolset.search_params(),
+        stats,
+    };
+
+    let sb = cfg.profile.superblock_size();
+    let (w, h) = (cur.width(), cur.height());
+    let mut y = 0;
+    while y < h {
+        let mut x = 0;
+        while x < w {
+            fe.code_block(x, y, sb, 0);
+            x += sb;
+        }
+        y += sb;
+    }
+
+    // In-loop deblocking (identical on the decoder side).
+    let grid = deblock_grid(cfg.profile);
+    let touched = deblock_plane(fe.recon.y_mut(), grid, qp);
+    fe.stats.deblock_pixels += touched;
+
+    fe.stats.pixels += (w * h) as u64;
+    fe.stats.frames += 1;
+    let payload = fe.enc.finish();
+    fe.stats.bits += payload.len() as u64 * 8;
+    let recon = fe.recon;
+    (payload, recon)
+}
+
+struct FrameEnc<'a> {
+    cfg: &'a EncoderConfig,
+    cur: &'a Frame,
+    refs: Vec<&'a Frame>,
+    qp: Qp,
+    enc: BoolEncoder,
+    models: Models,
+    recon: Frame,
+    last_mv: MotionVector,
+    search: SearchParams,
+    stats: &'a mut CodingStats,
+}
+
+impl FrameEnc<'_> {
+    fn code_block(&mut self, x: usize, y: usize, size: usize, depth: usize) {
+        let (w, h) = (self.cur.width(), self.cur.height());
+        if x >= w || y >= h {
+            return;
+        }
+        if size > 16 {
+            let split = self.should_split(x, y, size);
+            self.models.partition.encode(&mut self.enc, depth.min(1), split);
+            if split {
+                let half = size / 2;
+                self.code_block(x, y, half, depth + 1);
+                self.code_block(x + half, y, half, depth + 1);
+                self.code_block(x, y + half, half, depth + 1);
+                self.code_block(x + half, y + half, half, depth + 1);
+                return;
+            }
+        }
+        self.code_leaf(x, y, size);
+    }
+
+    /// Bounded recursive partition heuristic (paper §3.2): split when
+    /// the whole-block match is poor relative to the quantizer scale.
+    fn should_split(&mut self, x: usize, y: usize, size: usize) -> bool {
+        let (w, h) = (self.cur.width(), self.cur.height());
+        let bw = size.min(w - x);
+        let bh = size.min(h - y);
+        // Blocks straddling the frame edge always split for tighter fit.
+        if bw < size || bh < size {
+            return true;
+        }
+        let mut blk = vec![0u8; bw * bh];
+        self.cur
+            .y()
+            .copy_block_clamped(x as isize, y as isize, bw, bh, &mut blk);
+        if self.refs.is_empty() {
+            // Intra frame: split when spatial variance is high.
+            let mean = blk.iter().map(|&v| v as u64).sum::<u64>() / blk.len() as u64;
+            let mad: u64 = blk
+                .iter()
+                .map(|&v| (v as i64 - mean as i64).unsigned_abs())
+                .sum();
+            return mad as f64 / (bw * bh) as f64 > self.qp.step() * 0.75;
+        }
+        // Inter: the paper's "bounded recursive search" — compare the
+        // whole-block motion-compensated SAD against the sum of the
+        // four sub-blocks' independent searches plus the syntax
+        // overhead of coding three extra modes/MVs. Multi-motion
+        // content (several sprites in one superblock) splits; uniform
+        // pans keep large blocks.
+        let bounded = SearchParams::hardware();
+        let whole = search(
+            self.refs[0].y(),
+            self.cur.y(),
+            x,
+            y,
+            bw,
+            bh,
+            self.last_mv,
+            &bounded,
+            self.stats,
+        )
+        .sad;
+        let half = size / 2;
+        let (w, h) = (self.cur.width(), self.cur.height());
+        let mut subs = 0u64;
+        for (qx, qy) in [(x, y), (x + half, y), (x, y + half), (x + half, y + half)] {
+            if qx >= w || qy >= h {
+                continue;
+            }
+            let sbw = half.min(w - qx);
+            let sbh = half.min(h - qy);
+            subs += search(
+                self.refs[0].y(),
+                self.cur.y(),
+                qx,
+                qy,
+                sbw,
+                sbh,
+                self.last_mv,
+                &bounded,
+                self.stats,
+            )
+            .sad;
+        }
+        let lambda_sad = 0.9 * self.qp.step() * self.cfg.toolset.lambda_scale();
+        let split_overhead_bits = 36.0; // three extra mode/MV sets
+        (subs as f64 + lambda_sad * split_overhead_bits) < whole as f64
+    }
+
+    fn code_leaf(&mut self, x: usize, y: usize, size: usize) {
+        let (w, h) = (self.cur.width(), self.cur.height());
+        let bw = size.min(w - x);
+        let bh = size.min(h - y);
+        let mut cur_blk = vec![0u8; bw * bh];
+        self.cur
+            .y()
+            .copy_block_clamped(x as isize, y as isize, bw, bh, &mut cur_blk);
+
+        let mode = self.choose_mode(x, y, bw, bh, &cur_blk);
+
+        // Syntax: inter flag (when inter is possible), then mode details.
+        if !self.refs.is_empty() {
+            let is_inter = matches!(mode, BlockMode::Inter { .. });
+            self.models.is_inter.encode(&mut self.enc, 0, is_inter);
+        }
+        let pred = match &mode {
+            BlockMode::Intra(m) => {
+                write_uint(
+                    &mut self.enc,
+                    &mut self.models.intra_mode,
+                    0,
+                    m.index() as u32,
+                );
+                self.stats.intra_blocks += 1;
+                self.stats.intra_pixels += (bw * bh) as u64;
+                let n = IntraNeighbors::gather(self.recon.y(), x, y, bw, bh);
+                let mut p = vec![0u8; bw * bh];
+                n.predict(*m, &mut p);
+                p
+            }
+            BlockMode::Inter {
+                ref_idx,
+                mv,
+                compound,
+            } => {
+                write_uint(&mut self.enc, &mut self.models.ref_idx, 0, *ref_idx as u32);
+                write_int(&mut self.enc, &mut self.models.mv_x, 0, (mv.x - self.last_mv.x) as i32);
+                write_int(&mut self.enc, &mut self.models.mv_y, 0, (mv.y - self.last_mv.y) as i32);
+                if self.cfg.profile.supports_compound() && self.refs.len() >= 2 {
+                    self.models
+                        .compound
+                        .encode(&mut self.enc, 0, compound.is_some());
+                    if let Some((r2, mv2)) = compound {
+                        write_uint(&mut self.enc, &mut self.models.ref_idx, 4, *r2 as u32);
+                        write_int(&mut self.enc, &mut self.models.mv_x, 4, (mv2.x - mv.x) as i32);
+                        write_int(&mut self.enc, &mut self.models.mv_y, 4, (mv2.y - mv.y) as i32);
+                    }
+                }
+                self.stats.inter_blocks += 1;
+                self.stats.mc_pixels += (bw * bh) as u64;
+                let mut p = vec![0u8; bw * bh];
+                mc_block(self.refs[*ref_idx].y(), x, y, *mv, bw, bh, &mut p);
+                if let Some((r2, mv2)) = compound {
+                    let mut p2 = vec![0u8; bw * bh];
+                    mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, &mut p2);
+                    self.stats.mc_pixels += (bw * bh) as u64;
+                    for (a, b) in p.iter_mut().zip(&p2) {
+                        *a = ((*a as u16 + *b as u16 + 1) / 2) as u8;
+                    }
+                }
+                self.last_mv = *mv;
+                p
+            }
+        };
+
+        // Luma residual with adaptive transform size: sharp, spatially
+        // concentrated residuals prefer the smaller transform (VP9's
+        // adaptive TX size; H.264 High's 8x8/4x4 choice).
+        let t_full = size.min(max_tx(self.cfg.profile));
+        let mut residual = vec![0i16; bw * bh];
+        compute_residual(&cur_blk, &pred, &mut residual);
+        let t = if t_full > 4 {
+            let split_tx = tx_split_heuristic(&residual, bw, bh, t_full, self.qp);
+            self.models.tx_split.encode(
+                &mut self.enc,
+                crate::models::tx_class(t_full),
+                split_tx,
+            );
+            if split_tx {
+                t_full / 2
+            } else {
+                t_full
+            }
+        } else {
+            t_full
+        };
+        let deadzone = self.cfg.toolset.deadzone();
+        let trellis = self.cfg.toolset.trellis();
+        let mut recon_blk = vec![0u8; bw * bh];
+        {
+            for_each_tile(bw, bh, t, |tx, ty, tw, th| {
+                let mut tile_res = vec![0i16; tw * th];
+                for r in 0..th {
+                    for c in 0..tw {
+                        tile_res[r * tw + c] = residual[(ty + r) * bw + tx + c];
+                    }
+                }
+                let rec = encode_tile(
+                    &mut self.enc,
+                    &mut self.models,
+                    &tile_res,
+                    tw,
+                    th,
+                    t,
+                    self.qp,
+                    deadzone,
+                    trellis,
+                    self.stats,
+                );
+                for r in 0..th {
+                    for c in 0..tw {
+                        let p = pred[(ty + r) * bw + tx + c];
+                        recon_blk[(ty + r) * bw + tx + c] =
+                            (p as i32 + rec[r * tw + c] as i32).clamp(0, 255) as u8;
+                    }
+                }
+            });
+        }
+        self.recon.y_mut().write_block(x, y, bw, bh, &recon_blk);
+
+        // Chroma planes.
+        self.code_leaf_chroma(x, y, bw, bh, &mode);
+    }
+
+    fn code_leaf_chroma(&mut self, x: usize, y: usize, bw: usize, bh: usize, mode: &BlockMode) {
+        let (cx, cy) = (x / 2, y / 2);
+        let cbw = bw.div_ceil(2);
+        let cbh = bh.div_ceil(2);
+        let t = (bw.min(bh).next_power_of_two().min(max_tx(self.cfg.profile)) / 2).max(4);
+        let deadzone = self.cfg.toolset.deadzone();
+        let chroma_qp = self.qp.offset(2); // chroma slightly coarser
+        for plane_idx in 0..2 {
+            let (cur_p, refs_p): (&Plane, Vec<&Plane>) = if plane_idx == 0 {
+                (self.cur.u(), self.refs.iter().map(|f| f.u()).collect())
+            } else {
+                (self.cur.v(), self.refs.iter().map(|f| f.v()).collect())
+            };
+            let mut cur_blk = vec![0u8; cbw * cbh];
+            cur_p.copy_block_clamped(cx as isize, cy as isize, cbw, cbh, &mut cur_blk);
+
+            let pred = match mode {
+                BlockMode::Intra(m) => {
+                    let recon_p = if plane_idx == 0 {
+                        self.recon.u()
+                    } else {
+                        self.recon.v()
+                    };
+                    let n = IntraNeighbors::gather(recon_p, cx, cy, cbw, cbh);
+                    let mut p = vec![0u8; cbw * cbh];
+                    n.predict(*m, &mut p);
+                    p
+                }
+                BlockMode::Inter {
+                    ref_idx,
+                    mv,
+                    compound,
+                } => {
+                    let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+                    let mut p = vec![0u8; cbw * cbh];
+                    mc_block(refs_p[*ref_idx], cx, cy, cmv, cbw, cbh, &mut p);
+                    if let Some((r2, mv2)) = compound {
+                        let cmv2 = MotionVector::new(mv2.x / 2, mv2.y / 2);
+                        let mut p2 = vec![0u8; cbw * cbh];
+                        mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, &mut p2);
+                        for (a, b) in p.iter_mut().zip(&p2) {
+                            *a = ((*a as u16 + *b as u16 + 1) / 2) as u8;
+                        }
+                    }
+                    self.stats.mc_pixels += (cbw * cbh) as u64;
+                    p
+                }
+            };
+
+            let mut residual = vec![0i16; cbw * cbh];
+            compute_residual(&cur_blk, &pred, &mut residual);
+            let mut recon_blk = vec![0u8; cbw * cbh];
+            for_each_tile(cbw, cbh, t, |tx, ty, tw, th| {
+                let mut tile_res = vec![0i16; tw * th];
+                for r in 0..th {
+                    for c in 0..tw {
+                        tile_res[r * tw + c] = residual[(ty + r) * cbw + tx + c];
+                    }
+                }
+                let rec = encode_tile(
+                    &mut self.enc,
+                    &mut self.models,
+                    &tile_res,
+                    tw,
+                    th,
+                    t,
+                    chroma_qp,
+                    deadzone,
+                    false,
+                    self.stats,
+                );
+                for r in 0..th {
+                    for c in 0..tw {
+                        let p = pred[(ty + r) * cbw + tx + c];
+                        recon_blk[(ty + r) * cbw + tx + c] =
+                            (p as i32 + rec[r * tw + c] as i32).clamp(0, 255) as u8;
+                    }
+                }
+            });
+            if plane_idx == 0 {
+                self.recon.u_mut().write_block(cx, cy, cbw, cbh, &recon_blk);
+            } else {
+                self.recon.v_mut().write_block(cx, cy, cbw, cbh, &recon_blk);
+            }
+        }
+    }
+
+    fn choose_mode(&mut self, x: usize, y: usize, bw: usize, bh: usize, cur_blk: &[u8]) -> BlockMode {
+        let lambda_sad = 0.9 * self.qp.step() * self.cfg.toolset.lambda_scale();
+        let use_satd = self.cfg.toolset.satd_ranking();
+        let metric = |cur: &[u8], pred: &[u8], stats: &mut CodingStats| -> u64 {
+            if use_satd {
+                stats.sad_pixels += 2 * (bw * bh) as u64; // SATD ~2x SAD cost
+                satd(cur, pred, bw, bh)
+            } else {
+                pred.iter()
+                    .zip(cur)
+                    .map(|(a, b)| (*a as i32 - *b as i32).unsigned_abs() as u64)
+                    .sum()
+            }
+        };
+
+        // Intra candidates.
+        let mut best_intra: Option<(IntraMode, u64)> = None;
+        let neighbors = IntraNeighbors::gather(self.recon.y(), x, y, bw, bh);
+        let mut pred_buf = vec![0u8; bw * bh];
+        for &m in intra_modes(self.cfg.profile) {
+            neighbors.predict(m, &mut pred_buf);
+            self.stats.intra_pixels += (bw * bh) as u64;
+            let sad: u64 = metric(cur_blk, &pred_buf, self.stats);
+            if best_intra.map_or(true, |(_, s)| sad < s) {
+                best_intra = Some((m, sad));
+            }
+        }
+        let (intra_mode, intra_sad) = best_intra.expect("at least one intra mode");
+        let intra_cost = intra_sad as f64 + lambda_sad * 4.0;
+
+        if self.refs.is_empty() {
+            return BlockMode::Intra(intra_mode);
+        }
+
+        // Inter candidates: one search per reference.
+        let mut per_ref = Vec::with_capacity(self.refs.len());
+        for rf in &self.refs {
+            let r = search(
+                rf.y(),
+                self.cur.y(),
+                x,
+                y,
+                bw,
+                bh,
+                self.last_mv,
+                &self.search,
+                self.stats,
+            );
+            per_ref.push(r);
+        }
+        let (best_ri, best_r) = per_ref
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.sad)
+            .map(|(i, r)| (i, *r))
+            .expect("non-empty refs");
+        let inter_metric = if use_satd {
+            let mut p = vec![0u8; bw * bh];
+            mc_block(self.refs[best_ri].y(), x, y, best_r.mv, bw, bh, &mut p);
+            metric(cur_blk, &p, self.stats)
+        } else {
+            best_r.sad
+        };
+        let inter_cost =
+            inter_metric as f64 + lambda_sad * (2.0 + mv_bits_estimate(best_r.mv, self.last_mv));
+
+        // Compound: average the two best references.
+        let mut compound_choice: Option<((usize, MotionVector), f64)> = None;
+        if self.cfg.profile.supports_compound() && self.refs.len() >= 2 {
+            let mut order: Vec<usize> = (0..per_ref.len()).collect();
+            order.sort_by_key(|&i| per_ref[i].sad);
+            let (r1, r2) = (order[0], order[1]);
+            if r1 != r2 {
+                let mut p1 = vec![0u8; bw * bh];
+                let mut p2 = vec![0u8; bw * bh];
+                mc_block(self.refs[r1].y(), x, y, per_ref[r1].mv, bw, bh, &mut p1);
+                mc_block(self.refs[r2].y(), x, y, per_ref[r2].mv, bw, bh, &mut p2);
+                self.stats.mc_pixels += 2 * (bw * bh) as u64;
+                let avg: Vec<u8> = p1
+                    .iter()
+                    .zip(&p2)
+                    .map(|(a, b)| ((*a as u16 + *b as u16 + 1) / 2) as u8)
+                    .collect();
+                let sad: u64 = metric(cur_blk, &avg, self.stats);
+                let cost = sad as f64
+                    + lambda_sad
+                        * (3.0
+                            + mv_bits_estimate(per_ref[r1].mv, self.last_mv)
+                            + mv_bits_estimate(per_ref[r2].mv, per_ref[r1].mv));
+                if best_ri == r1 && cost < inter_cost {
+                    compound_choice = Some(((r2, per_ref[r2].mv), cost));
+                }
+            }
+        }
+
+        let best_inter_cost = compound_choice.map_or(inter_cost, |(_, c)| c.min(inter_cost));
+        if best_inter_cost <= intra_cost {
+            BlockMode::Inter {
+                ref_idx: best_ri,
+                mv: best_r.mv,
+                compound: compound_choice
+                    .filter(|(_, c)| *c < inter_cost)
+                    .map(|(pair, _)| pair),
+            }
+        } else {
+            BlockMode::Intra(intra_mode)
+        }
+    }
+}
+
+/// Decodes one frame payload into its reconstruction.
+///
+/// # Errors
+///
+/// Returns [`CodecError::CorruptBitstream`] if syntax elements are out
+/// of range (truncated/corrupted payloads).
+pub fn decode_frame(
+    profile: Profile,
+    payload: &[u8],
+    kind: FrameKind,
+    qp: Qp,
+    refs: &RefSlots,
+    width: usize,
+    height: usize,
+    stats: &mut CodingStats,
+) -> Result<Frame, CodecError> {
+    let mut fd = FrameDec {
+        profile,
+        dec: BoolDecoder::new(payload),
+        models: Models::new(),
+        refs: if kind == FrameKind::Key {
+            Vec::new()
+        } else {
+            refs.available(profile)
+        },
+        qp,
+        recon: Frame::new(width, height),
+        last_mv: MotionVector::ZERO,
+        stats,
+    };
+    let sb = profile.superblock_size();
+    let mut y = 0;
+    while y < height {
+        let mut x = 0;
+        while x < width {
+            fd.code_block(x, y, sb, 0)?;
+            x += sb;
+        }
+        y += sb;
+    }
+    if fd.dec.overrun() {
+        return Err(CodecError::CorruptBitstream("payload truncated"));
+    }
+    let grid = deblock_grid(profile);
+    let touched = deblock_plane(fd.recon.y_mut(), grid, qp);
+    fd.stats.deblock_pixels += touched;
+    fd.stats.pixels += (width * height) as u64;
+    fd.stats.frames += 1;
+    Ok(fd.recon)
+}
+
+struct FrameDec<'a> {
+    profile: Profile,
+    dec: BoolDecoder<'a>,
+    models: Models,
+    refs: Vec<&'a Frame>,
+    qp: Qp,
+    recon: Frame,
+    last_mv: MotionVector,
+    stats: &'a mut CodingStats,
+}
+
+impl FrameDec<'_> {
+    fn code_block(&mut self, x: usize, y: usize, size: usize, depth: usize) -> Result<(), CodecError> {
+        let (w, h) = (self.recon.width(), self.recon.height());
+        if x >= w || y >= h {
+            return Ok(());
+        }
+        if size > 16 {
+            let split = self.models.partition.decode(&mut self.dec, depth.min(1));
+            if split {
+                let half = size / 2;
+                self.code_block(x, y, half, depth + 1)?;
+                self.code_block(x + half, y, half, depth + 1)?;
+                self.code_block(x, y + half, half, depth + 1)?;
+                self.code_block(x + half, y + half, half, depth + 1)?;
+                return Ok(());
+            }
+        }
+        self.code_leaf(x, y, size)
+    }
+
+    fn code_leaf(&mut self, x: usize, y: usize, size: usize) -> Result<(), CodecError> {
+        let (w, h) = (self.recon.width(), self.recon.height());
+        let bw = size.min(w - x);
+        let bh = size.min(h - y);
+
+        let is_inter = if self.refs.is_empty() {
+            false
+        } else {
+            self.models.is_inter.decode(&mut self.dec, 0)
+        };
+
+        let mode = if is_inter {
+            let ref_idx = read_uint(&mut self.dec, &mut self.models.ref_idx, 0) as usize;
+            if ref_idx >= self.refs.len() {
+                return Err(CodecError::CorruptBitstream("reference index out of range"));
+            }
+            let dx = read_int(&mut self.dec, &mut self.models.mv_x, 0);
+            let dy = read_int(&mut self.dec, &mut self.models.mv_y, 0);
+            let mv = MotionVector::new(
+                (self.last_mv.x as i32 + dx).clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+                (self.last_mv.y as i32 + dy).clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+            );
+            let compound = if self.profile.supports_compound() && self.refs.len() >= 2 {
+                if self.models.compound.decode(&mut self.dec, 0) {
+                    let r2 = read_uint(&mut self.dec, &mut self.models.ref_idx, 4) as usize;
+                    if r2 >= self.refs.len() {
+                        return Err(CodecError::CorruptBitstream("compound ref out of range"));
+                    }
+                    let dx2 = read_int(&mut self.dec, &mut self.models.mv_x, 4);
+                    let dy2 = read_int(&mut self.dec, &mut self.models.mv_y, 4);
+                    let mv2 = MotionVector::new(
+                        (mv.x as i32 + dx2).clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+                        (mv.y as i32 + dy2).clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+                    );
+                    Some((r2, mv2))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            self.last_mv = mv;
+            self.stats.inter_blocks += 1;
+            BlockMode::Inter {
+                ref_idx,
+                mv,
+                compound,
+            }
+        } else {
+            let idx = read_uint(&mut self.dec, &mut self.models.intra_mode, 0) as usize;
+            let m = IntraMode::from_index(idx)
+                .ok_or(CodecError::CorruptBitstream("intra mode out of range"))?;
+            self.stats.intra_blocks += 1;
+            BlockMode::Intra(m)
+        };
+
+        // Luma prediction.
+        let pred = match &mode {
+            BlockMode::Intra(m) => {
+                let n = IntraNeighbors::gather(self.recon.y(), x, y, bw, bh);
+                let mut p = vec![0u8; bw * bh];
+                n.predict(*m, &mut p);
+                self.stats.intra_pixels += (bw * bh) as u64;
+                p
+            }
+            BlockMode::Inter {
+                ref_idx,
+                mv,
+                compound,
+            } => {
+                let mut p = vec![0u8; bw * bh];
+                mc_block(self.refs[*ref_idx].y(), x, y, *mv, bw, bh, &mut p);
+                self.stats.mc_pixels += (bw * bh) as u64;
+                if let Some((r2, mv2)) = compound {
+                    let mut p2 = vec![0u8; bw * bh];
+                    mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, &mut p2);
+                    self.stats.mc_pixels += (bw * bh) as u64;
+                    for (a, b) in p.iter_mut().zip(&p2) {
+                        *a = ((*a as u16 + *b as u16 + 1) / 2) as u8;
+                    }
+                }
+                p
+            }
+        };
+
+        // Luma residual: read the adaptive transform-size flag.
+        let t_full = size.min(max_tx(self.profile));
+        let t = if t_full > 4 {
+            let split_tx = self
+                .models
+                .tx_split
+                .decode(&mut self.dec, crate::models::tx_class(t_full));
+            if split_tx {
+                t_full / 2
+            } else {
+                t_full
+            }
+        } else {
+            t_full
+        };
+        let mut recon_blk = vec![0u8; bw * bh];
+        {
+            let models = &mut self.models;
+            let dec = &mut self.dec;
+            let stats = &mut *self.stats;
+            let qp = self.qp;
+            for_each_tile(bw, bh, t, |tx, ty, tw, th| {
+                let rec = decode_tile(dec, models, tw, th, t, qp, stats);
+                for r in 0..th {
+                    for c in 0..tw {
+                        let p = pred[(ty + r) * bw + tx + c];
+                        recon_blk[(ty + r) * bw + tx + c] =
+                            (p as i32 + rec[r * tw + c] as i32).clamp(0, 255) as u8;
+                    }
+                }
+            });
+        }
+        self.recon.y_mut().write_block(x, y, bw, bh, &recon_blk);
+
+        // Chroma.
+        self.code_leaf_chroma(x, y, bw, bh, &mode);
+        Ok(())
+    }
+
+    fn code_leaf_chroma(&mut self, x: usize, y: usize, bw: usize, bh: usize, mode: &BlockMode) {
+        let (cx, cy) = (x / 2, y / 2);
+        let cbw = bw.div_ceil(2);
+        let cbh = bh.div_ceil(2);
+        let t = (bw.min(bh).next_power_of_two().min(max_tx(self.profile)) / 2).max(4);
+        let chroma_qp = self.qp.offset(2);
+        for plane_idx in 0..2 {
+            let refs_p: Vec<&Plane> = if plane_idx == 0 {
+                self.refs.iter().map(|f| f.u()).collect()
+            } else {
+                self.refs.iter().map(|f| f.v()).collect()
+            };
+            let pred = match mode {
+                BlockMode::Intra(m) => {
+                    let recon_p = if plane_idx == 0 {
+                        self.recon.u()
+                    } else {
+                        self.recon.v()
+                    };
+                    let n = IntraNeighbors::gather(recon_p, cx, cy, cbw, cbh);
+                    let mut p = vec![0u8; cbw * cbh];
+                    n.predict(*m, &mut p);
+                    p
+                }
+                BlockMode::Inter {
+                    ref_idx,
+                    mv,
+                    compound,
+                } => {
+                    let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+                    let mut p = vec![0u8; cbw * cbh];
+                    mc_block(refs_p[*ref_idx], cx, cy, cmv, cbw, cbh, &mut p);
+                    if let Some((r2, mv2)) = compound {
+                        let cmv2 = MotionVector::new(mv2.x / 2, mv2.y / 2);
+                        let mut p2 = vec![0u8; cbw * cbh];
+                        mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, &mut p2);
+                        for (a, b) in p.iter_mut().zip(&p2) {
+                            *a = ((*a as u16 + *b as u16 + 1) / 2) as u8;
+                        }
+                    }
+                    self.stats.mc_pixels += (cbw * cbh) as u64;
+                    p
+                }
+            };
+
+            let mut recon_blk = vec![0u8; cbw * cbh];
+            {
+                let models = &mut self.models;
+                let dec = &mut self.dec;
+                let stats = &mut *self.stats;
+                for_each_tile(cbw, cbh, t, |tx, ty, tw, th| {
+                    let rec = decode_tile(dec, models, tw, th, t, chroma_qp, stats);
+                    for r in 0..th {
+                        for c in 0..tw {
+                            let p = pred[(ty + r) * cbw + tx + c];
+                            recon_blk[(ty + r) * cbw + tx + c] =
+                                (p as i32 + rec[r * tw + c] as i32).clamp(0, 255) as u8;
+                        }
+                    }
+                });
+            }
+            if plane_idx == 0 {
+                self.recon.u_mut().write_block(cx, cy, cbw, cbh, &recon_blk);
+            } else {
+                self.recon.v_mut().write_block(cx, cy, cbw, cbh, &recon_blk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EncoderConfig;
+    use vcu_media::synth::{ContentClass, SynthSpec};
+    use vcu_media::{quality::psnr_y, Resolution};
+
+    fn test_video(frames: usize) -> vcu_media::Video {
+        SynthSpec::new(Resolution::R144, frames, ContentClass::ugc(), 11).generate()
+    }
+
+    fn calm_video(frames: usize) -> vcu_media::Video {
+        SynthSpec::new(Resolution::R144, frames, ContentClass::talking_head(), 11).generate()
+    }
+
+    fn round_trip_one(profile: Profile, kind_chain: bool) {
+        let video = test_video(3);
+        let cfg = EncoderConfig::const_qp(profile, Qp::new(28));
+        let mut refs = RefSlots::new();
+        let mut stats = CodingStats::new();
+        let mut dec_refs = RefSlots::new();
+        let mut dstats = CodingStats::new();
+
+        for (i, f) in video.frames.iter().enumerate() {
+            let kind = if i == 0 || !kind_chain {
+                FrameKind::Key
+            } else {
+                FrameKind::Inter
+            };
+            let (payload, recon) = encode_frame(&cfg, f, kind, Qp::new(28), &refs, &mut stats);
+            let decoded = decode_frame(
+                profile,
+                &payload,
+                kind,
+                Qp::new(28),
+                &dec_refs,
+                f.width(),
+                f.height(),
+                &mut dstats,
+            )
+            .expect("decode");
+            assert_eq!(recon, decoded, "frame {i} recon mismatch");
+            refs.apply_refresh(kind, &recon);
+            dec_refs.apply_refresh(kind, &decoded);
+        }
+    }
+
+    #[test]
+    fn h264_round_trip_inter_chain() {
+        round_trip_one(Profile::H264Sim, true);
+    }
+
+    #[test]
+    fn vp9_round_trip_inter_chain() {
+        round_trip_one(Profile::Vp9Sim, true);
+    }
+
+    #[test]
+    fn intra_only_round_trip() {
+        round_trip_one(Profile::Vp9Sim, false);
+    }
+
+    #[test]
+    fn quality_improves_with_lower_qp() {
+        let video = test_video(1);
+        let f = &video.frames[0];
+        let mut psnrs = Vec::new();
+        for qp in [10u8, 30, 50] {
+            let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(qp));
+            let mut stats = CodingStats::new();
+            let refs = RefSlots::new();
+            let (_, recon) = encode_frame(&cfg, f, FrameKind::Key, Qp::new(qp), &refs, &mut stats);
+            psnrs.push(psnr_y(f, &recon));
+        }
+        assert!(
+            psnrs[0] > psnrs[1] && psnrs[1] > psnrs[2],
+            "PSNR not monotone in QP: {psnrs:?}"
+        );
+    }
+
+    #[test]
+    fn rate_decreases_with_higher_qp() {
+        let video = test_video(1);
+        let f = &video.frames[0];
+        let mut sizes = Vec::new();
+        for qp in [10u8, 30, 50] {
+            let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(qp));
+            let mut stats = CodingStats::new();
+            let refs = RefSlots::new();
+            let (payload, _) = encode_frame(&cfg, f, FrameKind::Key, Qp::new(qp), &refs, &mut stats);
+            sizes.push(payload.len());
+        }
+        assert!(
+            sizes[0] > sizes[1] && sizes[1] > sizes[2],
+            "sizes not monotone: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn inter_frames_much_smaller_than_key() {
+        let video = calm_video(2);
+        let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(28));
+        let mut refs = RefSlots::new();
+        let mut stats = CodingStats::new();
+        let (key_payload, recon) = encode_frame(
+            &cfg,
+            &video.frames[0],
+            FrameKind::Key,
+            Qp::new(28),
+            &refs,
+            &mut stats,
+        );
+        refs.apply_refresh(FrameKind::Key, &recon);
+        let (inter_payload, _) = encode_frame(
+            &cfg,
+            &video.frames[1],
+            FrameKind::Inter,
+            Qp::new(28),
+            &refs,
+            &mut stats,
+        );
+        assert!(
+            (inter_payload.len() as f64) < key_payload.len() as f64 * 0.7,
+            "inter {} vs key {}",
+            inter_payload.len(),
+            key_payload.len()
+        );
+        assert!(stats.inter_blocks > 0);
+    }
+
+    #[test]
+    fn corrupt_payload_detected_or_decodes_differently() {
+        let video = test_video(1);
+        let f = &video.frames[0];
+        let cfg = EncoderConfig::const_qp(Profile::H264Sim, Qp::new(30));
+        let refs = RefSlots::new();
+        let mut stats = CodingStats::new();
+        let (mut payload, recon) =
+            encode_frame(&cfg, f, FrameKind::Key, Qp::new(30), &refs, &mut stats);
+        // Flip a byte mid-payload.
+        let mid = payload.len() / 2;
+        payload[mid] ^= 0xA5;
+        let mut dstats = CodingStats::new();
+        match decode_frame(
+            Profile::H264Sim,
+            &payload,
+            FrameKind::Key,
+            Qp::new(30),
+            &refs,
+            f.width(),
+            f.height(),
+            &mut dstats,
+        ) {
+            Err(_) => {}
+            Ok(decoded) => assert_ne!(decoded, recon, "corruption must not decode identically"),
+        }
+    }
+
+    #[test]
+    fn ref_slots_refresh_rules() {
+        let f = Frame::new(16, 16);
+        let mut slots = RefSlots::new();
+        assert!(slots.available(Profile::Vp9Sim).is_empty());
+        slots.apply_refresh(FrameKind::Key, &f);
+        assert_eq!(slots.available(Profile::Vp9Sim).len(), 3);
+        assert_eq!(slots.available(Profile::H264Sim).len(), 1);
+        let mut g = Frame::new(16, 16);
+        g.y_mut().fill(9);
+        slots.apply_refresh(FrameKind::AltRef, &g);
+        let avail = slots.available(Profile::Vp9Sim);
+        assert_eq!(avail[2].y().get(0, 0), 9);
+        assert_eq!(avail[0].y().get(0, 0), 0);
+    }
+}

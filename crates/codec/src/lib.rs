@@ -1,0 +1,33 @@
+//! From-scratch block-based video codec with two profiles.
+//!
+//! Implements the transcoding substrate the VCU accelerates: a real
+//! (simplified) hybrid video codec — motion-compensated prediction,
+//! integer transform, scalar quantization, adaptive binary arithmetic
+//! entropy coding, in-loop deblocking — with an [`types::Profile`] axis
+//! mirroring the H.264 vs VP9 tool gap and full encode/decode
+//! round-trip fidelity (the decoder reproduces the encoder's
+//! reconstruction bit-exactly).
+//!
+//! The encoder additionally meters its own work ([`stats::CodingStats`])
+//! so the chip/CPU timing models in `vcu-chip` can price software and
+//! hardware transcodes from the same measured operation counts.
+pub mod api;
+pub(crate) mod block;
+pub mod config;
+pub mod deblock;
+pub mod frame_coder;
+pub mod models;
+pub mod rc;
+pub mod entropy;
+pub mod intra;
+pub mod motion;
+pub mod quant;
+pub mod stats;
+pub mod tempfilter;
+pub mod transform;
+pub mod types;
+
+pub use api::{decode, encode, CodedFrameInfo, Decoded, Encoded};
+pub use config::{EncoderConfig, PassMode, RateControl, Toolset, TuningLevel};
+pub use stats::CodingStats;
+pub use types::{CodecError, FrameKind, MotionVector, Profile, Qp};

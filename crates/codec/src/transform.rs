@@ -1,0 +1,225 @@
+//! Separable 2-D DCT-II transforms for residual coding.
+//!
+//! Sizes 4/8/16/32 are supported, covering the H.264-like profile's
+//! 8×8 transform and the VP9-like profile's up-to-32×32 transforms.
+//! The transform is orthonormal, computed in `f64` with precomputed
+//! basis matrices; encoder and decoder share the identical inverse
+//! path, so reconstruction is deterministic and bit-exact between the
+//! two (the property the paper's "golden transcode" fault screening
+//! relies on: "relying on the core's deterministic behavior", §4.4).
+
+use std::sync::OnceLock;
+
+/// Transform sizes supported by the codec.
+pub const TX_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+fn basis(n: usize) -> &'static [f64] {
+    static BASES: OnceLock<[Vec<f64>; 4]> = OnceLock::new();
+    let all = BASES.get_or_init(|| {
+        let make = |n: usize| {
+            let mut m = vec![0.0f64; n * n];
+            for k in 0..n {
+                let scale = if k == 0 {
+                    (1.0 / n as f64).sqrt()
+                } else {
+                    (2.0 / n as f64).sqrt()
+                };
+                for i in 0..n {
+                    m[k * n + i] = scale
+                        * ((std::f64::consts::PI / n as f64) * (i as f64 + 0.5) * k as f64).cos();
+                }
+            }
+            m
+        };
+        [make(4), make(8), make(16), make(32)]
+    });
+    match n {
+        4 => &all[0],
+        8 => &all[1],
+        16 => &all[2],
+        32 => &all[3],
+        _ => panic!("unsupported transform size {n}"),
+    }
+}
+
+/// Forward 2-D DCT of an `n x n` residual block (row-major).
+///
+/// # Panics
+///
+/// Panics if `n` is not one of [`TX_SIZES`] or `residual.len() != n*n`.
+pub fn forward(residual: &[i16], n: usize, out: &mut [f64]) {
+    assert_eq!(residual.len(), n * n, "residual size mismatch");
+    assert_eq!(out.len(), n * n, "output size mismatch");
+    let b = basis(n);
+    // tmp = B * X (transform columns of rows first: rows pass)
+    let mut tmp = vec![0.0f64; n * n];
+    for k in 0..n {
+        for y in 0..n {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += b[k * n + i] * residual[y * n + i] as f64;
+            }
+            tmp[y * n + k] = acc;
+        }
+    }
+    // out = B * tmp (columns pass)
+    for k in 0..n {
+        for x in 0..n {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += b[k * n + i] * tmp[i * n + x];
+            }
+            out[k * n + x] = acc;
+        }
+    }
+}
+
+/// Inverse 2-D DCT producing an `n x n` residual block, rounded to i16.
+///
+/// # Panics
+///
+/// Panics if `n` is not one of [`TX_SIZES`] or sizes mismatch.
+pub fn inverse(coeffs: &[f64], n: usize, out: &mut [i16]) {
+    assert_eq!(coeffs.len(), n * n, "coeff size mismatch");
+    assert_eq!(out.len(), n * n, "output size mismatch");
+    let b = basis(n);
+    // tmp = B^T * C (columns)
+    let mut tmp = vec![0.0f64; n * n];
+    for y in 0..n {
+        for x in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += b[k * n + y] * coeffs[k * n + x];
+            }
+            tmp[y * n + x] = acc;
+        }
+    }
+    // out = tmp * B (rows)
+    for y in 0..n {
+        for x in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += tmp[y * n + k] * b[k * n + x];
+            }
+            out[y * n + x] = acc.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+        }
+    }
+}
+
+/// Zigzag scan order for an `n x n` block: coefficients ordered by
+/// anti-diagonal, low frequencies first. Cached per size.
+pub fn zigzag(n: usize) -> &'static [usize] {
+    static ZIGZAGS: OnceLock<[Vec<usize>; 4]> = OnceLock::new();
+    let all = ZIGZAGS.get_or_init(|| {
+        let make = |n: usize| {
+            let mut order: Vec<usize> = (0..n * n).collect();
+            order.sort_by_key(|&idx| {
+                let (y, x) = (idx / n, idx % n);
+                let d = x + y;
+                // Alternate direction along each anti-diagonal.
+                let pos = if d % 2 == 0 { n - 1 - x } else { x };
+                (d, pos)
+            });
+            order
+        };
+        [make(4), make(8), make(16), make(32)]
+    });
+    match n {
+        4 => &all[0],
+        8 => &all[1],
+        16 => &all[2],
+        32 => &all[3],
+        _ => panic!("unsupported transform size {n}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(n: usize) {
+        let residual: Vec<i16> = (0..n * n)
+            .map(|i| (((i * 37) % 255) as i16) - 128)
+            .collect();
+        let mut coeffs = vec![0.0; n * n];
+        forward(&residual, n, &mut coeffs);
+        let mut back = vec![0i16; n * n];
+        inverse(&coeffs, n, &mut back);
+        assert_eq!(residual, back, "lossless round trip failed for n={n}");
+    }
+
+    #[test]
+    fn all_sizes_round_trip() {
+        for &n in &TX_SIZES {
+            round_trip(n);
+        }
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        let n = 8;
+        let residual = vec![10i16; n * n];
+        let mut coeffs = vec![0.0; n * n];
+        forward(&residual, n, &mut coeffs);
+        // Orthonormal DCT: DC = mean * n (since scale = 1/sqrt(n) per dim).
+        assert!((coeffs[0] - 10.0 * n as f64).abs() < 1e-9);
+        // Everything else zero for constant input.
+        assert!(coeffs[1..].iter().all(|c| c.abs() < 1e-9));
+    }
+
+    #[test]
+    fn energy_preserved() {
+        // Parseval: orthonormal transform preserves L2 energy.
+        let n = 16;
+        let residual: Vec<i16> = (0..n * n).map(|i| ((i * 13 % 41) as i16) - 20).collect();
+        let mut coeffs = vec![0.0; n * n];
+        forward(&residual, n, &mut coeffs);
+        let e_in: f64 = residual.iter().map(|&r| (r as f64) * (r as f64)).sum();
+        let e_out: f64 = coeffs.iter().map(|c| c * c).sum();
+        assert!((e_in - e_out).abs() / e_in < 1e-9);
+    }
+
+    #[test]
+    fn smooth_content_compacts_energy() {
+        // A gradient should put nearly all energy in low frequencies.
+        let n = 8;
+        let residual: Vec<i16> = (0..n * n).map(|i| (i % n) as i16 * 4).collect();
+        let mut coeffs = vec![0.0; n * n];
+        forward(&residual, n, &mut coeffs);
+        let zz = zigzag(n);
+        let low: f64 = zz[..8].iter().map(|&i| coeffs[i] * coeffs[i]).sum();
+        let total: f64 = coeffs.iter().map(|c| c * c).sum();
+        assert!(low / total > 0.95, "energy compaction {}", low / total);
+    }
+
+    #[test]
+    fn zigzag_is_permutation() {
+        for &n in &TX_SIZES {
+            let mut seen = vec![false; n * n];
+            for &i in zigzag(n) {
+                assert!(!seen[i], "duplicate index {i}");
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn zigzag_starts_at_dc() {
+        for &n in &TX_SIZES {
+            assert_eq!(zigzag(n)[0], 0);
+            // Second element is one of the two d=1 anti-diagonal cells.
+            assert!(
+                zigzag(n)[1] == 1 || zigzag(n)[1] == n,
+                "second element not on the first anti-diagonal for n={n}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported transform size")]
+    fn bad_size_panics() {
+        let mut out = vec![0.0; 9];
+        forward(&[0i16; 9], 3, &mut out);
+    }
+}

@@ -1,0 +1,378 @@
+//! Single-channel 8-bit image plane.
+//!
+//! A [`Plane`] is the unit of pixel storage for luma and chroma
+//! channels. It provides edge-clamped sampling (used by motion search
+//! at frame borders), block copy in/out (used by the block-based
+//! codec), and distortion kernels (SAD / SSE) that both the encoder's
+//! mode decision and the quality metrics build on.
+
+use std::fmt;
+
+/// A single 8-bit image plane with row-major storage.
+///
+/// Pixels outside the plane are defined by edge clamping, matching the
+/// behaviour video codecs specify for motion vectors that point outside
+/// the reference picture.
+///
+/// # Example
+///
+/// ```
+/// use vcu_media::Plane;
+///
+/// let mut p = Plane::new(4, 4);
+/// p.set(1, 1, 200);
+/// assert_eq!(p.get(1, 1), 200);
+/// // Edge-clamped sampling: coordinates are clamped into the plane.
+/// assert_eq!(p.get_clamped(-5, 1), p.get(0, 1));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Plane {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for Plane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Plane")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
+impl Plane {
+    /// Creates a zero-filled plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "plane dimensions must be nonzero");
+        Plane {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Creates a plane by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut p = Plane::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                p.data[y * width + x] = f(x, y);
+            }
+        }
+        p
+    }
+
+    /// Creates a plane from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height` or either dimension is zero.
+    pub fn from_data(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "plane dimensions must be nonzero");
+        assert_eq!(data.len(), width * height, "data length mismatch");
+        Plane {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Plane width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Borrow the raw row-major pixel data.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major pixel data.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Reads the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x]
+    }
+
+    /// Writes the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Reads the pixel at signed coordinates with edge clamping.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.width + cx]
+    }
+
+    /// Borrows one row of pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[u8] {
+        assert!(y < self.height, "row out of bounds");
+        &self.data[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Copies a `bw x bh` block whose top-left corner is `(x, y)` into
+    /// `dst` (row-major, length `bw * bh`). Pixels outside the plane
+    /// are edge-clamped, so blocks may start at negative coordinates or
+    /// extend past the border — exactly what unrestricted motion
+    /// vectors require.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != bw * bh`.
+    pub fn copy_block_clamped(&self, x: isize, y: isize, bw: usize, bh: usize, dst: &mut [u8]) {
+        assert_eq!(dst.len(), bw * bh, "destination length mismatch");
+        let in_x = x >= 0 && (x as usize) + bw <= self.width;
+        let in_y = y >= 0 && (y as usize) + bh <= self.height;
+        if in_x && in_y {
+            // Fast path: fully interior block.
+            let (x, y) = (x as usize, y as usize);
+            for by in 0..bh {
+                let src = &self.data[(y + by) * self.width + x..(y + by) * self.width + x + bw];
+                dst[by * bw..(by + 1) * bw].copy_from_slice(src);
+            }
+        } else {
+            for by in 0..bh {
+                for bx in 0..bw {
+                    dst[by * bw + bx] = self.get_clamped(x + bx as isize, y + by as isize);
+                }
+            }
+        }
+    }
+
+    /// Writes a `bw x bh` block at `(x, y)`; parts outside the plane
+    /// are silently cropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != bw * bh`.
+    pub fn write_block(&mut self, x: usize, y: usize, bw: usize, bh: usize, src: &[u8]) {
+        assert_eq!(src.len(), bw * bh, "source length mismatch");
+        for by in 0..bh {
+            let py = y + by;
+            if py >= self.height {
+                break;
+            }
+            for bx in 0..bw {
+                let px = x + bx;
+                if px >= self.width {
+                    break;
+                }
+                self.data[py * self.width + px] = src[by * bw + bx];
+            }
+        }
+    }
+
+    /// Sum of absolute differences between the block at `(x, y)` in
+    /// `self` (edge-clamped) and `other` (row-major `bw x bh`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.len() != bw * bh`.
+    pub fn sad_block(&self, x: isize, y: isize, bw: usize, bh: usize, other: &[u8]) -> u64 {
+        assert_eq!(other.len(), bw * bh, "block length mismatch");
+        let mut sad = 0u64;
+        let in_bounds =
+            x >= 0 && y >= 0 && (x as usize) + bw <= self.width && (y as usize) + bh <= self.height;
+        if in_bounds {
+            let (x, y) = (x as usize, y as usize);
+            for by in 0..bh {
+                let row = &self.data[(y + by) * self.width + x..(y + by) * self.width + x + bw];
+                let oth = &other[by * bw..(by + 1) * bw];
+                for (a, b) in row.iter().zip(oth) {
+                    sad += (*a as i32 - *b as i32).unsigned_abs() as u64;
+                }
+            }
+        } else {
+            for by in 0..bh {
+                for bx in 0..bw {
+                    let a = self.get_clamped(x + bx as isize, y + by as isize) as i32;
+                    let b = other[by * bw + bx] as i32;
+                    sad += (a - b).unsigned_abs() as u64;
+                }
+            }
+        }
+        sad
+    }
+
+    /// Sum of squared errors against another plane of identical size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn sse(&self, other: &Plane) -> u64 {
+        assert_eq!(self.width, other.width, "plane width mismatch");
+        assert_eq!(self.height, other.height, "plane height mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| {
+                let d = *a as i64 - *b as i64;
+                (d * d) as u64
+            })
+            .sum()
+    }
+
+    /// Fills the entire plane with a constant value.
+    pub fn fill(&mut self, v: u8) {
+        self.data.fill(v);
+    }
+
+    /// Mean pixel value as a float (useful for DC statistics).
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Bilinearly samples the plane at fractional coordinates, with
+    /// edge clamping. Used by sub-pixel motion compensation and the
+    /// synthetic video generator.
+    pub fn sample_bilinear(&self, x: f64, y: f64) -> u8 {
+        let x0 = x.floor() as isize;
+        let y0 = y.floor() as isize;
+        let fx = x - x0 as f64;
+        let fy = y - y0 as f64;
+        let p00 = self.get_clamped(x0, y0) as f64;
+        let p10 = self.get_clamped(x0 + 1, y0) as f64;
+        let p01 = self.get_clamped(x0, y0 + 1) as f64;
+        let p11 = self.get_clamped(x0 + 1, y0 + 1) as f64;
+        let top = p00 * (1.0 - fx) + p10 * fx;
+        let bot = p01 * (1.0 - fx) + p11 * fx;
+        (top * (1.0 - fy) + bot * fy).round().clamp(0.0, 255.0) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero_filled() {
+        let p = Plane::new(3, 2);
+        assert_eq!(p.data(), &[0; 6]);
+        assert_eq!(p.width(), 3);
+        assert_eq!(p.height(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dims_panic() {
+        Plane::new(0, 4);
+    }
+
+    #[test]
+    fn from_fn_populates() {
+        let p = Plane::from_fn(4, 3, |x, y| (x + 10 * y) as u8);
+        assert_eq!(p.get(2, 1), 12);
+        assert_eq!(p.get(3, 2), 23);
+    }
+
+    #[test]
+    fn from_data_round_trips() {
+        let p = Plane::from_data(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(p.get(0, 0), 1);
+        assert_eq!(p.get(1, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_data_length_checked() {
+        Plane::from_data(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clamped_access() {
+        let p = Plane::from_fn(4, 4, |x, y| (x * 4 + y) as u8);
+        assert_eq!(p.get_clamped(-3, 0), p.get(0, 0));
+        assert_eq!(p.get_clamped(100, 100), p.get(3, 3));
+        assert_eq!(p.get_clamped(2, -1), p.get(2, 0));
+    }
+
+    #[test]
+    fn block_copy_interior_and_edge() {
+        let p = Plane::from_fn(8, 8, |x, y| (y * 8 + x) as u8);
+        let mut b = vec![0u8; 4];
+        p.copy_block_clamped(2, 3, 2, 2, &mut b);
+        assert_eq!(b, vec![26, 27, 34, 35]);
+        // Edge-clamped block at negative coordinates replicates column 0.
+        p.copy_block_clamped(-1, 0, 2, 2, &mut b);
+        assert_eq!(b, vec![0, 0, 8, 8]);
+    }
+
+    #[test]
+    fn write_block_crops() {
+        let mut p = Plane::new(4, 4);
+        p.write_block(3, 3, 2, 2, &[9, 9, 9, 9]);
+        assert_eq!(p.get(3, 3), 9);
+        // No panic, pixels outside are dropped.
+    }
+
+    #[test]
+    fn sad_matches_manual() {
+        let p = Plane::from_fn(4, 4, |x, _| (x * 10) as u8);
+        let other = vec![0u8, 10, 20, 30];
+        assert_eq!(p.sad_block(0, 0, 4, 1, &other), 0);
+        let other2 = vec![5u8, 5, 25, 25];
+        assert_eq!(p.sad_block(0, 0, 4, 1, &other2), 5 + 5 + 5 + 5);
+    }
+
+    #[test]
+    fn sad_interior_equals_clamped_path() {
+        let p = Plane::from_fn(16, 16, |x, y| ((x * 7 + y * 13) % 251) as u8);
+        let mut blk = vec![0u8; 16];
+        p.copy_block_clamped(4, 4, 4, 4, &mut blk);
+        assert_eq!(p.sad_block(4, 4, 4, 4, &blk), 0);
+    }
+
+    #[test]
+    fn sse_zero_for_identical() {
+        let p = Plane::from_fn(5, 5, |x, y| (x ^ y) as u8);
+        assert_eq!(p.sse(&p.clone()), 0);
+    }
+
+    #[test]
+    fn bilinear_midpoint() {
+        let mut p = Plane::new(2, 1);
+        p.set(0, 0, 0);
+        p.set(1, 0, 100);
+        assert_eq!(p.sample_bilinear(0.5, 0.0), 50);
+    }
+
+    #[test]
+    fn mean_of_constant() {
+        let mut p = Plane::new(3, 3);
+        p.fill(42);
+        assert!((p.mean() - 42.0).abs() < 1e-12);
+    }
+}

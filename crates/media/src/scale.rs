@@ -1,0 +1,137 @@
+//! Resolution scaling: area-average downscale, bilinear upscale.
+//!
+//! The MOT pipeline decodes an input once and downscales the raw
+//! frames to every lower ladder rung before encoding (paper Fig. 2b).
+//! Area averaging is the conventional high-quality choice for large
+//! downscale factors; bilinear is provided for the (rare) upscale path
+//! that clients otherwise perform on-device.
+
+use crate::frame::Frame;
+use crate::plane::Plane;
+
+/// Scales a plane to `(dw, dh)` using pixel-area weighting for
+/// downscales and bilinear interpolation otherwise.
+///
+/// # Panics
+///
+/// Panics if either target dimension is zero.
+pub fn scale_plane(src: &Plane, dw: usize, dh: usize) -> Plane {
+    assert!(dw > 0 && dh > 0, "target dimensions must be nonzero");
+    if dw == src.width() && dh == src.height() {
+        return src.clone();
+    }
+    if dw <= src.width() && dh <= src.height() {
+        area_average(src, dw, dh)
+    } else {
+        bilinear(src, dw, dh)
+    }
+}
+
+fn area_average(src: &Plane, dw: usize, dh: usize) -> Plane {
+    let (sw, sh) = (src.width() as f64, src.height() as f64);
+    let x_ratio = sw / dw as f64;
+    let y_ratio = sh / dh as f64;
+    Plane::from_fn(dw, dh, |dx, dy| {
+        let x0 = dx as f64 * x_ratio;
+        let x1 = (dx + 1) as f64 * x_ratio;
+        let y0 = dy as f64 * y_ratio;
+        let y1 = (dy + 1) as f64 * y_ratio;
+        let mut acc = 0.0;
+        let mut area = 0.0;
+        let mut sy = y0.floor() as usize;
+        while (sy as f64) < y1 && sy < src.height() {
+            let wy = (y1.min((sy + 1) as f64) - y0.max(sy as f64)).max(0.0);
+            let mut sx = x0.floor() as usize;
+            while (sx as f64) < x1 && sx < src.width() {
+                let wx = (x1.min((sx + 1) as f64) - x0.max(sx as f64)).max(0.0);
+                acc += src.get(sx, sy) as f64 * wx * wy;
+                area += wx * wy;
+                sx += 1;
+            }
+            sy += 1;
+        }
+        (acc / area).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+fn bilinear(src: &Plane, dw: usize, dh: usize) -> Plane {
+    let x_ratio = src.width() as f64 / dw as f64;
+    let y_ratio = src.height() as f64 / dh as f64;
+    Plane::from_fn(dw, dh, |dx, dy| {
+        let sx = (dx as f64 + 0.5) * x_ratio - 0.5;
+        let sy = (dy as f64 + 0.5) * y_ratio - 0.5;
+        src.sample_bilinear(sx, sy)
+    })
+}
+
+/// Scales a full YUV 4:2:0 frame to new even dimensions.
+///
+/// # Panics
+///
+/// Panics if `dw`/`dh` are zero or odd.
+pub fn scale_frame(src: &Frame, dw: usize, dh: usize) -> Frame {
+    assert!(dw > 0 && dh > 0, "target dimensions must be nonzero");
+    assert!(dw % 2 == 0 && dh % 2 == 0, "4:2:0 requires even dimensions");
+    Frame::from_planes(
+        scale_plane(src.y(), dw, dh),
+        scale_plane(src.u(), dw / 2, dh / 2),
+        scale_plane(src.v(), dw / 2, dh / 2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_scale_is_clone() {
+        let p = Plane::from_fn(8, 8, |x, y| (x * y) as u8);
+        let s = scale_plane(&p, 8, 8);
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn downscale_constant_stays_constant() {
+        let mut p = Plane::new(16, 16);
+        p.fill(77);
+        let s = scale_plane(&p, 4, 4);
+        assert!(s.data().iter().all(|&v| v == 77));
+    }
+
+    #[test]
+    fn downscale_2x_averages() {
+        // 2x2 blocks of (0, 0, 100, 100) average to 50.
+        let p = Plane::from_fn(4, 4, |_, y| if y % 2 == 0 { 0 } else { 100 });
+        let s = scale_plane(&p, 2, 2);
+        assert!(s.data().iter().all(|&v| v == 50), "{:?}", s.data());
+    }
+
+    #[test]
+    fn non_integer_factor_preserves_mean() {
+        let p = Plane::from_fn(854, 480, |x, y| ((x + y) % 256) as u8);
+        let s = scale_plane(&p, 640, 360);
+        assert!((p.mean() - s.mean()).abs() < 1.5, "means {} vs {}", p.mean(), s.mean());
+    }
+
+    #[test]
+    fn upscale_constant() {
+        let mut p = Plane::new(4, 4);
+        p.fill(90);
+        let s = scale_plane(&p, 8, 8);
+        assert!(s.data().iter().all(|&v| v == 90));
+    }
+
+    #[test]
+    fn frame_scale_keeps_chroma_ratio() {
+        let f = Frame::new(64, 36);
+        let g = scale_frame(&f, 32, 18);
+        assert_eq!(g.u().width(), 16);
+        assert_eq!(g.u().height(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn frame_scale_rejects_odd() {
+        scale_frame(&Frame::new(64, 36), 31, 18);
+    }
+}

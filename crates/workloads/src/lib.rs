@@ -1,0 +1,14 @@
+//! Workload generators for the VCU reproduction.
+//!
+//! The paper evaluates on vbench plus production traffic we cannot
+//! redistribute; this crate synthesizes both: a [`vbench`]-like
+//! 15-clip suite spanning resolution × frame-rate × entropy, a
+//! [`popularity`] model (stretched power law, three buckets, §2.2),
+//! and [`traffic`] generators for upload and live request streams.
+pub mod popularity;
+pub mod traffic;
+pub mod vbench;
+
+pub use popularity::{PopularityBucket, PopularityModel, Treatment};
+pub use traffic::{LiveTraffic, Request, UploadTraffic, WorkloadFamily};
+pub use vbench::{suite, SuiteScale, VbenchClip};

@@ -1,0 +1,135 @@
+//! A vbench-like benchmark suite.
+//!
+//! vbench (Lottarini et al., ASPLOS'18) is 15 videos spanning a 3-D
+//! space of resolution, frame rate and entropy; the paper uses it for
+//! all of §4.1. The suite is not redistributable, so we synthesize 15
+//! clips with the same *axes*: each named clip mirrors the qualitative
+//! content class visible in the paper's Fig. 7 legend (easy
+//! `presentation`/`desktop` at the top, hard `holi` at the bottom).
+//!
+//! Resolutions are scaled down from vbench's (≤2160p) so that real
+//! pixel-level encodes stay tractable; throughput experiments use the
+//! chip timing models at full resolution instead, so nothing is lost.
+
+use vcu_media::synth::{ContentClass, SynthSpec};
+use vcu_media::{Resolution, Video};
+
+/// One suite entry.
+#[derive(Debug, Clone)]
+pub struct VbenchClip {
+    /// Clip name (mirrors the paper's Fig. 7 legend).
+    pub name: &'static str,
+    /// Generator specification.
+    pub spec: SynthSpec,
+}
+
+impl VbenchClip {
+    /// Generates the clip's frames.
+    pub fn video(&self) -> Video {
+        self.spec.generate()
+    }
+}
+
+/// Suite sizing knob: quality experiments encode every pixel, so CI
+/// runs use short clips while full runs use longer ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// ~1 second per clip at 144p–240p (CI-friendly).
+    Quick,
+    /// ~2-3 seconds per clip at up to 360p.
+    Full,
+}
+
+/// Builds the 15-clip suite.
+pub fn suite(scale: SuiteScale) -> Vec<VbenchClip> {
+    let (frames_lo, frames_hi) = match scale {
+        SuiteScale::Quick => (24, 36),
+        SuiteScale::Full => (48, 72),
+    };
+    let res = |full: Resolution, quick: Resolution| match scale {
+        SuiteScale::Quick => quick,
+        SuiteScale::Full => full,
+    };
+    let r144 = res(Resolution::R240, Resolution::R144);
+    let r240 = res(Resolution::R360, Resolution::R144);
+    let r360 = res(Resolution::R360, Resolution::R240);
+
+    let mk = |name: &'static str,
+              r: Resolution,
+              frames: usize,
+              fps: f64,
+              content: ContentClass,
+              seed: u64| VbenchClip {
+        name,
+        spec: SynthSpec::new(r, frames, content, seed).with_fps(fps),
+    };
+
+    let screen = ContentClass::screen_content();
+    let talk = ContentClass::talking_head();
+    let ugc = ContentClass::ugc();
+    let game = ContentClass::gaming();
+    let wild = ContentClass::high_motion();
+
+    vec![
+        mk("presentation", r144, frames_lo, 24.0, screen, 101),
+        mk("desktop", r144, frames_lo, 24.0, screen, 102),
+        mk("bike", r240, frames_hi, 30.0, ugc, 103),
+        mk("funny", r144, frames_lo, 30.0, talk, 104),
+        mk("house", r240, frames_lo, 24.0, talk, 105),
+        mk("cricket", r360, frames_hi, 30.0, wild, 106),
+        mk("girl", r144, frames_lo, 24.0, talk, 107),
+        mk("game_1", r240, frames_hi, 60.0, game, 108),
+        mk("chicken", r240, frames_hi, 30.0, ugc, 109),
+        mk("hall", r144, frames_lo, 24.0, talk, 110),
+        mk("game_2", r360, frames_hi, 60.0, game, 111),
+        mk("cat", r144, frames_lo, 30.0, ugc, 112),
+        mk("landscape", r360, frames_lo, 24.0, ugc, 113),
+        mk("game_3", r240, frames_hi, 60.0, game, 114),
+        mk("holi", r360, frames_hi, 30.0, wild, 115),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fifteen_clips() {
+        assert_eq!(suite(SuiteScale::Quick).len(), 15);
+        assert_eq!(suite(SuiteScale::Full).len(), 15);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let s = suite(SuiteScale::Quick);
+        let mut names: Vec<_> = s.iter().map(|c| c.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn axes_are_spread() {
+        let s = suite(SuiteScale::Full);
+        let fps: std::collections::BTreeSet<_> =
+            s.iter().map(|c| c.spec.fps as u32).collect();
+        assert!(fps.len() >= 3, "frame-rate axis collapsed: {fps:?}");
+        let res: std::collections::BTreeSet<_> =
+            s.iter().map(|c| c.spec.resolution).collect();
+        assert!(res.len() >= 2, "resolution axis collapsed");
+    }
+
+    #[test]
+    fn clips_generate() {
+        let c = &suite(SuiteScale::Quick)[0];
+        let v = c.video();
+        assert_eq!(v.frames.len(), c.spec.frames);
+    }
+
+    #[test]
+    fn deterministic_suite() {
+        let a = suite(SuiteScale::Quick)[5].video();
+        let b = suite(SuiteScale::Quick)[5].video();
+        assert_eq!(a, b);
+    }
+}

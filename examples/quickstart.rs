@@ -1,0 +1,63 @@
+//! Quickstart: transcode a clip on the (simulated) VCU and verify it.
+//!
+//! Demonstrates the core loop every other example builds on: generate
+//! raw video, encode with the hardware toolset, decode, measure quality
+//! and bitrate, and run the golden self-test that production workers
+//! perform before trusting a VCU.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vcu_chip::faults::{golden_expected, golden_test, FaultyVcu};
+use vcu_codec::{decode, encode, EncoderConfig, Profile, Qp, TuningLevel};
+use vcu_media::quality::psnr_y_video;
+use vcu_media::synth::{ContentClass, SynthSpec};
+use vcu_media::Resolution;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A 2-second 240p user-generated clip.
+    let video = SynthSpec::new(Resolution::R240, 48, ContentClass::ugc(), 42).generate();
+    println!(
+        "source: {}x{} @ {} fps, {} frames",
+        video.width(),
+        video.height(),
+        video.fps,
+        video.frames.len()
+    );
+
+    // 2. Encode as VP9 on a mature-tuning VCU.
+    let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32))
+        .with_hardware(TuningLevel::MATURE);
+    let encoded = encode(&cfg, &video)?;
+    println!(
+        "encoded: {} bytes, {:.0} kbps, {} coded frames ({} hidden altrefs)",
+        encoded.size_bytes(),
+        encoded.bitrate_bps() / 1e3,
+        encoded.frames.len(),
+        encoded
+            .frames
+            .iter()
+            .filter(|f| !f.kind.is_displayable())
+            .count(),
+    );
+
+    // 3. Decode and measure quality.
+    let decoded = decode(&encoded.bytes)?;
+    let psnr = psnr_y_video(&video, &decoded.video);
+    println!("decoded: {} frames, Y-PSNR {:.2} dB", decoded.video.frames.len(), psnr);
+    assert_eq!(decoded.video.frames.len(), video.frames.len());
+
+    // 4. The golden self-test every worker runs on attach (§4.4).
+    let vcu = FaultyVcu::new(7);
+    let ok = golden_test(&vcu, golden_expected());
+    println!("golden self-test: {}", if ok { "PASS" } else { "FAIL" });
+    assert!(ok);
+
+    // 5. Work metering feeds the fleet-level timing models.
+    println!(
+        "encode work: {:.1} Mpix, {:.1} M SAD-pixels, {:.2} bits/pixel",
+        encoded.stats.pixels as f64 / 1e6,
+        encoded.stats.sad_pixels as f64 / 1e6,
+        encoded.stats.bits_per_pixel()
+    );
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use vcu_codec::entropy::{
+    read_int, read_uint, write_int, write_uint, AdaptiveModel, BoolDecoder, BoolEncoder,
+};
+use vcu_codec::{decode, encode, EncoderConfig, Profile, Qp};
+use vcu_media::bdrate::{bd_rate, RdPoint};
+use vcu_media::scale::scale_plane;
+use vcu_media::synth::{ContentClass, SynthSpec};
+use vcu_media::{Frame, Plane, Resolution, Video};
+
+proptest! {
+    /// The arithmetic coder round-trips any bit sequence at any
+    /// probability sequence.
+    #[test]
+    fn bool_coder_round_trips(
+        bits in proptest::collection::vec((any::<bool>(), 1u8..=255), 1..500)
+    ) {
+        let mut enc = BoolEncoder::new();
+        for (b, p) in &bits {
+            enc.put(*b, *p);
+        }
+        let bytes = enc.finish();
+        let mut dec = BoolDecoder::new(&bytes);
+        for (b, p) in &bits {
+            prop_assert_eq!(dec.get(*p), *b);
+        }
+    }
+
+    /// Adaptive integer coding round-trips arbitrary values.
+    #[test]
+    fn adaptive_ints_round_trip(values in proptest::collection::vec(-100_000i32..100_000, 1..200)) {
+        let mut enc = BoolEncoder::new();
+        let mut me = AdaptiveModel::new(8);
+        for v in &values {
+            write_int(&mut enc, &mut me, 0, *v);
+        }
+        let bytes = enc.finish();
+        let mut dec = BoolDecoder::new(&bytes);
+        let mut md = AdaptiveModel::new(8);
+        for v in &values {
+            prop_assert_eq!(read_int(&mut dec, &mut md, 0), *v);
+        }
+    }
+
+    /// Unsigned variant.
+    #[test]
+    fn adaptive_uints_round_trip(values in proptest::collection::vec(0u32..2_000_000, 1..200)) {
+        let mut enc = BoolEncoder::new();
+        let mut me = AdaptiveModel::new(8);
+        for v in &values {
+            write_uint(&mut enc, &mut me, 0, *v);
+        }
+        let bytes = enc.finish();
+        let mut dec = BoolDecoder::new(&bytes);
+        let mut md = AdaptiveModel::new(8);
+        for v in &values {
+            prop_assert_eq!(read_uint(&mut dec, &mut md, 0), *v);
+        }
+    }
+
+    /// Plane block copy with clamping never panics and always fills
+    /// the destination, for any geometry.
+    #[test]
+    fn plane_block_copy_total(
+        w in 1usize..64, h in 1usize..64,
+        x in -70isize..70, y in -70isize..70,
+        bw in 1usize..32, bh in 1usize..32,
+    ) {
+        let p = Plane::from_fn(w, h, |a, b| (a * 7 + b * 13) as u8);
+        let mut dst = vec![1u8; bw * bh];
+        p.copy_block_clamped(x, y, bw, bh, &mut dst);
+        // Every value must be a value that exists in the plane (clamp
+        // can only replicate real pixels).
+        for v in dst {
+            prop_assert!(p.data().contains(&v));
+        }
+    }
+
+    /// Downscaling preserves the mean within rounding.
+    #[test]
+    fn scaling_preserves_mean(seed in 0u64..500) {
+        let p = Plane::from_fn(48, 32, |x, y| {
+            ((x as u64 * 31 + y as u64 * 17 + seed * 7) % 251) as u8
+        });
+        let s = scale_plane(&p, 24, 16);
+        prop_assert!((p.mean() - s.mean()).abs() < 3.0);
+    }
+
+    /// BD-rate antisymmetry: bd(a,b) and bd(b,a) compose to identity.
+    #[test]
+    fn bd_rate_antisymmetric(mult in 0.3f64..3.0) {
+        let curve = |m: f64| -> Vec<RdPoint> {
+            [0.5f64, 1.0, 2.0, 4.0]
+                .iter()
+                .map(|&r| RdPoint::new(r * m * 1e6, 10.0 * (r * 1e6).log10()))
+                .collect()
+        };
+        let a = curve(1.0);
+        let b = curve(mult);
+        let ab = bd_rate(&a, &b).unwrap();
+        let ba = bd_rate(&b, &a).unwrap();
+        let prod = (1.0 + ab / 100.0) * (1.0 + ba / 100.0);
+        prop_assert!((prod - 1.0).abs() < 1e-6, "prod {}", prod);
+    }
+
+    /// Frame invariants: chroma is half luma, raw size is 1.5 B/px.
+    #[test]
+    fn frame_invariants(w in 1usize..32, h in 1usize..32) {
+        let f = Frame::new(w * 2, h * 2);
+        prop_assert_eq!(f.u().width() * 2, f.width());
+        prop_assert_eq!(f.raw_bytes(), (f.pixels() * 3) / 2);
+    }
+}
+
+proptest! {
+    // Whole-codec round trips are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The decoder reproduces frame counts and stays within sane
+    /// distortion bounds for arbitrary synthetic content and QP.
+    #[test]
+    fn codec_round_trip_any_content(
+        seed in 0u64..1000,
+        qp in 8u8..55,
+        profile_vp9 in any::<bool>(),
+        frames in 2usize..6,
+    ) {
+        let content = ContentClass {
+            spatial_detail: (seed % 10) as f64 / 10.0,
+            pan_speed: (seed % 4) as f64,
+            objects: (seed % 5) as usize,
+            object_speed: (seed % 3) as f64,
+            noise_sigma: (seed % 4) as f64,
+            scene_cut_period: None,
+        };
+        let video: Video = SynthSpec::new(Resolution::R144, frames, content, seed).generate();
+        let profile = if profile_vp9 { Profile::Vp9Sim } else { Profile::H264Sim };
+        let cfg = EncoderConfig::const_qp(profile, Qp::new(qp));
+        let e = encode(&cfg, &video).expect("encode");
+        let d = decode(&e.bytes).expect("decode own bitstream");
+        prop_assert_eq!(d.video.frames.len(), video.frames.len());
+        prop_assert_eq!(d.video.width(), video.width());
+        // Reconstruction error bounded by quantizer scale: max per-pixel
+        // error across the video should not exceed a generous multiple
+        // of the step size.
+        let max_err = video
+            .frames
+            .iter()
+            .zip(&d.video.frames)
+            .flat_map(|(a, b)| {
+                a.y().data().iter().zip(b.y().data()).map(|(x, y)| (*x as i32 - *y as i32).abs())
+            })
+            .max()
+            .unwrap_or(0);
+        let bound = (Qp::new(qp).step() * 12.0 + 48.0) as i32;
+        prop_assert!(max_err <= bound, "max err {} > bound {}", max_err, bound);
+    }
+
+    /// Any single-byte container corruption is either detected or
+    /// changes the output (never silently decodes identically).
+    #[test]
+    fn corruption_never_silently_identical(pos_frac in 0.1f64..0.95, flip in 1u8..255) {
+        let video = SynthSpec::new(
+            Resolution::R144, 3, ContentClass::talking_head(), 4,
+        ).generate();
+        let cfg = EncoderConfig::const_qp(Profile::H264Sim, Qp::new(30));
+        let e = encode(&cfg, &video).expect("encode");
+        let reference = decode(&e.bytes).expect("decode").video;
+        let mut bytes = e.bytes.clone();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= flip;
+        match decode(&bytes) {
+            Err(_) => {} // detected: good
+            Ok(d) => prop_assert_ne!(d.video, reference),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The decoder never panics on arbitrary garbage input.
+    #[test]
+    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode(&bytes); // must return, never panic
+    }
+
+    /// Nor on garbage wearing a valid container header.
+    #[test]
+    fn decoder_total_on_framed_garbage(payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"VCSM");
+        bytes.push(1); // version
+        bytes.push(1); // vp9 profile
+        bytes.extend_from_slice(&64u16.to_le_bytes());
+        bytes.extend_from_slice(&64u16.to_le_bytes());
+        bytes.extend_from_slice(&30.0f32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0); // key frame
+        bytes.push(30); // qp
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        // Correct checksum so the payload reaches the frame decoder.
+        let mut h: u32 = 0x811C9DC5;
+        for &b in &payload {
+            h ^= b as u32;
+            h = h.wrapping_mul(16777619);
+        }
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&h.to_le_bytes());
+        let _ = decode(&bytes); // must return, never panic
+    }
+}

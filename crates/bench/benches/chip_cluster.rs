@@ -1,77 +1,77 @@
-//! Criterion benchmarks for the chip and cluster models: pipeline
+//! Microbenchmarks for the chip and cluster models: pipeline
 //! simulation, reference store, scheduler placement and full cluster
 //! runs — the simulation costs behind every fleet-scale experiment.
+//!
+//! Plain wall-clock timing (median-of-K; see `vcu_bench::timing`),
+//! machine-readable output in `results/bench_chip_cluster.json`. Run:
+//! `cargo bench -p vcu-bench --bench chip_cluster --offline`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use vcu_bench::timing::Harness;
 use vcu_chip::encoder_core::PipelineSim;
 use vcu_chip::refstore::{simulate_frame_search, RefStore};
 use vcu_chip::{ResourceDemand, TranscodeJob};
 use vcu_cluster::des::EventQueue;
-use vcu_cluster::{
-    ClusterConfig, ClusterSim, JobSpec, Priority, Scheduler, SchedulerKind,
-};
+use vcu_cluster::{ClusterConfig, ClusterSim, JobSpec, Priority, Scheduler, SchedulerKind};
 use vcu_codec::Profile;
 use vcu_media::Resolution;
+use vcu_rng::Rng;
 
-fn bench_pipeline(c: &mut Criterion) {
-    c.bench_function("chip/pipeline_2k_blocks", |b| {
-        b.iter(|| PipelineSim::new(4, 0.5).relative_throughput(2000))
+fn bench_pipeline(h: &mut Harness) {
+    h.bench("chip/pipeline_2k_blocks", || {
+        PipelineSim::new(4, 0.5).relative_throughput(2000)
     });
 }
 
-fn bench_refstore(c: &mut Criterion) {
-    c.bench_function("chip/refstore_720p_frame", |b| {
-        b.iter(|| {
-            let mut s = RefStore::default();
-            simulate_frame_search(&mut s, 1280, 720, 512, 64, 64);
-            s.dram_bytes_read
-        })
+fn bench_refstore(h: &mut Harness) {
+    h.bench("chip/refstore_720p_frame", || {
+        let mut s = RefStore::default();
+        simulate_frame_search(&mut s, 1280, 720, 512, 64, 64);
+        s.dram_bytes_read
     });
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler(h: &mut Harness) {
     let demand = ResourceDemand {
         millidecode: 60,
         milliencode: 1200,
         dram_mib: 180,
         host_mcpu: 20,
     };
-    c.bench_function("cluster/place_release_1k", |b| {
-        b.iter(|| {
-            let mut s = Scheduler::new(SchedulerKind::MultiDim, 64, 4);
-            let mut placed = Vec::new();
-            for i in 0..1000 {
-                if let Some(w) = s.place(demand, i % 4) {
-                    placed.push(w);
-                }
-                if i % 3 == 0 {
-                    if let Some(w) = placed.pop() {
-                        s.release(w, demand);
-                    }
+    h.bench_elements("cluster/place_release_1k", Some(1000), || {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 64, 4);
+        let mut placed = Vec::new();
+        for i in 0..1000 {
+            if let Some(w) = s.place(demand, i % 4) {
+                placed.push(w);
+            }
+            if i % 3 == 0 {
+                if let Some(w) = placed.pop() {
+                    s.release(w, demand);
                 }
             }
-            s.encode_utilization()
-        })
+        }
+        s.encode_utilization()
     });
 }
 
-fn bench_des(c: &mut Criterion) {
-    c.bench_function("cluster/event_queue_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u32 {
-                q.schedule(((i * 2_654_435_761) % 100_000) as f64, i);
-            }
-            let mut acc = 0u64;
-            while let Some(e) = q.pop() {
-                acc += e.event as u64;
-            }
-            acc
-        })
+fn bench_des(h: &mut Harness) {
+    // Deterministic pseudo-random schedule times via the vendored RNG.
+    let mut rng = Rng::seed_from_u64(0xDE5);
+    let times: Vec<f64> = (0..10_000).map(|_| rng.gen_range(0.0..100_000.0)).collect();
+    h.bench_elements("cluster/event_queue_10k", Some(10_000), || {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i as u32);
+        }
+        let mut acc = 0u64;
+        while let Some(e) = q.pop() {
+            acc += e.event as u64;
+        }
+        acc
     });
 }
 
-fn bench_cluster_sim(c: &mut Criterion) {
+fn bench_cluster_sim(h: &mut Harness) {
     let jobs: Vec<JobSpec> = (0..300)
         .map(|i| JobSpec {
             arrival_s: i as f64 * 0.1,
@@ -80,26 +80,22 @@ fn bench_cluster_sim(c: &mut Criterion) {
             video_id: 0,
         })
         .collect();
-    let mut g = c.benchmark_group("cluster");
-    g.sample_size(10);
-    g.bench_function("sim_300_jobs_8_vcus", |b| {
-        b.iter(|| {
-            let cfg = ClusterConfig {
-                vcus: 8,
-                ..ClusterConfig::default()
-            };
-            ClusterSim::new(cfg, jobs.clone(), vec![]).run().completed
-        })
+    h.bench_elements("cluster/sim_300_jobs_8_vcus", Some(300), || {
+        let cfg = ClusterConfig {
+            vcus: 8,
+            ..ClusterConfig::default()
+        };
+        ClusterSim::new(cfg, jobs.clone(), vec![]).run().completed
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pipeline,
-    bench_refstore,
-    bench_scheduler,
-    bench_des,
-    bench_cluster_sim
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_pipeline(&mut h);
+    bench_refstore(&mut h);
+    bench_scheduler(&mut h);
+    bench_des(&mut h);
+    bench_cluster_sim(&mut h);
+    h.write_json(&vcu_bench::timing::results_path("bench_chip_cluster.json"))
+        .expect("write results/bench_chip_cluster.json");
+}

@@ -1,8 +1,12 @@
-//! Criterion microbenchmarks for the codec substrate: the kernels the
-//! VCU pipeline model prices (transform, entropy, search, filter) plus
+//! Microbenchmarks for the codec substrate: the kernels the VCU
+//! pipeline model prices (transform, entropy, search, filter) plus
 //! whole encode/decode throughput per profile and toolset.
+//!
+//! Plain wall-clock timing (median-of-K; see `vcu_bench::timing`),
+//! machine-readable output in `results/bench_codec.json`. Run:
+//! `cargo bench -p vcu-bench --bench codec --offline`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vcu_bench::timing::Harness;
 use vcu_codec::entropy::{AdaptiveModel, BoolDecoder, BoolEncoder};
 use vcu_codec::motion::{satd, search, SearchParams};
 use vcu_codec::stats::CodingStats;
@@ -13,34 +17,31 @@ use vcu_codec::{decode, encode, EncoderConfig, Profile, Qp, TuningLevel};
 use vcu_media::synth::{ContentClass, SynthSpec};
 use vcu_media::{Plane, Resolution};
 
-fn bench_transform(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transform");
+fn bench_transform(h: &mut Harness) {
     for &n in &[8usize, 16, 32] {
         let residual: Vec<i16> = (0..n * n).map(|i| ((i * 37) % 255) as i16 - 128).collect();
         let mut coeffs = vec![0.0; n * n];
         let mut back = vec![0i16; n * n];
-        g.throughput(Throughput::Elements((n * n) as u64));
-        g.bench_with_input(BenchmarkId::new("fwd_inv", n), &n, |b, &n| {
-            b.iter(|| {
+        h.bench_elements(
+            &format!("transform/fwd_inv/{n}"),
+            Some((n * n) as u64),
+            || {
                 forward(&residual, n, &mut coeffs);
                 inverse(&coeffs, n, &mut back);
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_entropy(c: &mut Criterion) {
+fn bench_entropy(h: &mut Harness) {
     let bits: Vec<bool> = (0..8192).map(|i| i % 37 < 7).collect();
-    c.bench_function("entropy/encode_8k_bits", |b| {
-        b.iter(|| {
-            let mut enc = BoolEncoder::new();
-            let mut m = AdaptiveModel::new(4);
-            for (i, &bit) in bits.iter().enumerate() {
-                m.encode(&mut enc, i % 4, bit);
-            }
-            enc.finish()
-        })
+    h.bench_elements("entropy/encode_8k_bits", Some(bits.len() as u64), || {
+        let mut enc = BoolEncoder::new();
+        let mut m = AdaptiveModel::new(4);
+        for (i, &bit) in bits.iter().enumerate() {
+            m.encode(&mut enc, i % 4, bit);
+        }
+        enc.finish()
     });
     let bytes = {
         let mut enc = BoolEncoder::new();
@@ -50,90 +51,87 @@ fn bench_entropy(c: &mut Criterion) {
         }
         enc.finish()
     };
-    c.bench_function("entropy/decode_8k_bits", |b| {
-        b.iter(|| {
-            let mut dec = BoolDecoder::new(&bytes);
-            let mut m = AdaptiveModel::new(4);
-            let mut acc = 0u32;
-            for i in 0..bits.len() {
-                acc += m.decode(&mut dec, i % 4) as u32;
-            }
-            acc
-        })
+    h.bench_elements("entropy/decode_8k_bits", Some(bits.len() as u64), || {
+        let mut dec = BoolDecoder::new(&bytes);
+        let mut m = AdaptiveModel::new(4);
+        let mut acc = 0u32;
+        for i in 0..bits.len() {
+            acc += m.decode(&mut dec, i % 4) as u32;
+        }
+        acc
     });
 }
 
-fn bench_motion(c: &mut Criterion) {
+fn bench_motion(h: &mut Harness) {
     let reference = Plane::from_fn(256, 144, |x, y| (((x * 3) ^ (y * 7)) % 256) as u8);
     let current = Plane::from_fn(256, 144, |x, y| {
         reference.get_clamped(x as isize - 4, y as isize - 2)
     });
-    let mut g = c.benchmark_group("motion");
     for (name, params) in [
         ("hardware", SearchParams::hardware()),
         ("software", SearchParams::software()),
     ] {
-        g.bench_function(BenchmarkId::new("search16", name), |b| {
-            b.iter(|| {
-                let mut stats = CodingStats::new();
-                search(
-                    &reference, &current, 64, 64, 16, 16,
-                    MotionVector::ZERO, &params, &mut stats,
-                )
-            })
+        h.bench(&format!("motion/search16/{name}"), || {
+            let mut stats = CodingStats::new();
+            search(
+                &reference,
+                &current,
+                64,
+                64,
+                16,
+                16,
+                MotionVector::ZERO,
+                &params,
+                &mut stats,
+            )
         });
     }
-    g.finish();
     let a: Vec<u8> = (0..256).map(|i| (i * 7 % 251) as u8).collect();
-    let b2: Vec<u8> = (0..256).map(|i| (i * 11 % 251) as u8).collect();
-    c.bench_function("motion/satd16", |b| b.iter(|| satd(&a, &b2, 16, 16)));
+    let b: Vec<u8> = (0..256).map(|i| (i * 11 % 251) as u8).collect();
+    h.bench("motion/satd16", || satd(&a, &b, 16, 16));
 }
 
-fn bench_temporal_filter(c: &mut Criterion) {
+fn bench_temporal_filter(h: &mut Harness) {
     let v = SynthSpec::new(Resolution::R144, 3, ContentClass::talking_head(), 1).generate();
     let frames: Vec<_> = v.frames.iter().collect();
-    c.bench_function("tempfilter/144p_3frames", |b| {
-        b.iter(|| {
-            let mut stats = CodingStats::new();
-            temporal_filter(&frames, 1, &mut stats)
-        })
+    h.bench("tempfilter/144p_3frames", || {
+        let mut stats = CodingStats::new();
+        temporal_filter(&frames, 1, &mut stats)
     });
 }
 
-fn bench_encode_decode(c: &mut Criterion) {
+fn bench_encode_decode(h: &mut Harness) {
     let v = SynthSpec::new(Resolution::R144, 6, ContentClass::ugc(), 9).generate();
-    let mut g = c.benchmark_group("codec");
-    g.sample_size(10);
     for (name, cfg) in [
         (
-            "encode_h264_sw",
+            "codec/encode_h264_sw",
             EncoderConfig::const_qp(Profile::H264Sim, Qp::new(32)),
         ),
         (
-            "encode_vp9_sw",
+            "codec/encode_vp9_sw",
             EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32)),
         ),
         (
-            "encode_vp9_hw",
+            "codec/encode_vp9_hw",
             EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32))
                 .with_hardware(TuningLevel::MATURE),
         ),
     ] {
-        g.throughput(Throughput::Elements(v.total_pixels()));
-        g.bench_function(name, |b| b.iter(|| encode(&cfg, &v).unwrap()));
+        h.bench_elements(name, Some(v.total_pixels()), || encode(&cfg, &v).unwrap());
     }
     let e = encode(&EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32)), &v).unwrap();
-    g.throughput(Throughput::Elements(v.total_pixels()));
-    g.bench_function("decode_vp9", |b| b.iter(|| decode(&e.bytes).unwrap()));
-    g.finish();
+    h.bench_elements("codec/decode_vp9", Some(v.total_pixels()), || {
+        decode(&e.bytes).unwrap()
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_transform,
-    bench_entropy,
-    bench_motion,
-    bench_temporal_filter,
-    bench_encode_decode
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_transform(&mut h);
+    bench_entropy(&mut h);
+    bench_motion(&mut h);
+    bench_temporal_filter(&mut h);
+    bench_encode_decode(&mut h);
+    h.write_json(&vcu_bench::timing::results_path("bench_codec.json"))
+        .expect("write results/bench_codec.json");
+}

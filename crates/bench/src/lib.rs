@@ -1,4 +1,8 @@
 //! Experiment harness crate: see the `bin/` targets (one per paper
-//! table/figure) and `benches/` (Criterion microbenchmarks). The
-//! library itself is intentionally empty — everything lives in the
-//! binaries so each experiment is a self-contained, runnable artifact.
+//! table/figure) and `benches/` (plain `fn main` wall-clock
+//! microbenchmarks writing JSON to `results/`; run with
+//! `cargo bench -p vcu-bench --offline`). The library provides only
+//! [`timing`], the dependency-free median-of-K measurement harness the
+//! benches share.
+
+pub mod timing;

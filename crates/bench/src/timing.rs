@@ -1,0 +1,197 @@
+//! Plain wall-clock benchmark harness (the in-repo `criterion`
+//! replacement).
+//!
+//! Each benchmark auto-calibrates an iteration count so one repetition
+//! takes a measurable slice of wall-clock time, runs K repetitions,
+//! and records the median per-iteration time — the statistic future
+//! PRs diff to track the perf trajectory. Reports are printed as a
+//! table and written as machine-readable JSON under `results/`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per repetition during calibration.
+const TARGET_REP: Duration = Duration::from_millis(40);
+/// Repetitions per benchmark (median-of-K).
+const DEFAULT_REPS: usize = 9;
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Benchmark name, e.g. `"codec/encode_vp9_sw"`.
+    pub name: String,
+    /// Iterations per repetition (after calibration).
+    pub iters: u64,
+    /// Repetitions measured.
+    pub reps: usize,
+    /// Median per-iteration nanoseconds.
+    pub median_ns: f64,
+    /// Fastest repetition's per-iteration nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration nanoseconds.
+    pub mean_ns: f64,
+    /// Optional elements-per-iteration for throughput reporting.
+    pub elements: Option<u64>,
+}
+
+impl Record {
+    /// Elements per second at the median time, if elements were set.
+    pub fn elems_per_s(&self) -> Option<f64> {
+        self.elements
+            .map(|e| e as f64 / (self.median_ns / 1e9))
+    }
+}
+
+/// A suite of benchmarks accumulating records, flushed to JSON.
+#[derive(Debug, Default)]
+pub struct Harness {
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f`, printing and recording the result. The closure's
+    /// return value is passed through [`black_box`] so the work cannot
+    /// be optimized away.
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) -> &Record {
+        self.bench_elements(name, None, f)
+    }
+
+    /// Like [`Harness::bench`] with an elements-per-iteration count
+    /// for throughput reporting (pixels, bits, events…).
+    pub fn bench_elements<R>(
+        &mut self,
+        name: &str,
+        elements: Option<u64>,
+        mut f: impl FnMut() -> R,
+    ) -> &Record {
+        // Calibrate: grow the iteration count until one rep is slow
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let t = time_iters(iters, &mut f);
+            if t >= TARGET_REP || iters >= 1 << 24 {
+                break;
+            }
+            // Aim straight at the target with 2x headroom.
+            let scale = TARGET_REP.as_secs_f64() / t.as_secs_f64().max(1e-9);
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)).ceil() as u64;
+        }
+        let mut per_iter_ns: Vec<f64> = (0..DEFAULT_REPS)
+            .map(|_| time_iters(iters, &mut f).as_nanos() as f64 / iters as f64)
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let record = Record {
+            name: name.to_string(),
+            iters,
+            reps: DEFAULT_REPS,
+            median_ns,
+            min_ns: per_iter_ns[0],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            elements,
+        };
+        let throughput = record
+            .elems_per_s()
+            .map(|t| format!("  ({:.3} Melem/s)", t / 1e6))
+            .unwrap_or_default();
+        println!(
+            "{:<40} median {:>12}  min {:>12}{}",
+            record.name,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.min_ns),
+            throughput
+        );
+        self.records.push(record);
+        self.records.last().expect("just pushed")
+    }
+
+    /// Writes all records as JSON to `path` (creating parent dirs) and
+    /// prints where they went. Hand-rolled serialization — the
+    /// workspace is dependency-free by design.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"name\": {:?}, \"iters\": {}, \"reps\": {}, \
+                 \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}",
+                r.name, r.iters, r.reps, r.median_ns, r.min_ns, r.mean_ns
+            ));
+            if let Some(e) = r.elements {
+                out.push_str(&format!(", \"elements\": {e}"));
+            }
+            out.push('}');
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, out)?;
+        println!("\nwrote {} records to {path}", self.records.len());
+        Ok(())
+    }
+}
+
+/// Absolute path of `file` inside the workspace-level `results/`
+/// directory (bench binaries run with the package dir as CWD, so a
+/// relative `results/` would land inside `crates/bench`).
+pub fn results_path(file: &str) -> String {
+    format!("{}/../../results/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn time_iters<R>(iters: u64, f: &mut impl FnMut() -> R) -> Duration {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut h = Harness::new();
+        let r = h.bench_elements("smoke/sum", Some(1000), || {
+            (0..1000u64).sum::<u64>()
+        });
+        assert!(r.median_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert_eq!(r.elements, Some(1000));
+        assert!(r.elems_per_s().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn json_is_written() {
+        let mut h = Harness::new();
+        h.bench("smoke/nop", || 1u8);
+        let path = std::env::temp_dir().join("vcu_bench_smoke.json");
+        let path = path.to_str().unwrap();
+        h.write_json(path).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"smoke/nop\""));
+        assert!(body.trim_start().starts_with('['));
+    }
+}

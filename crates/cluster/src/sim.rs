@@ -16,9 +16,8 @@
 
 use crate::des::EventQueue;
 use crate::scheduler::{Scheduler, SchedulerKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vcu_chip::faults::{golden_expected, golden_test, FaultyVcu, HealthState};
+use vcu_rng::Rng;
 use vcu_chip::{ResourceDemand, TranscodeJob, VcuModel};
 
 /// Priority classes (§3.3.3's pools).
@@ -221,7 +220,7 @@ pub struct ClusterSim {
     /// Pending job indices, kept sorted by (priority, arrival order).
     pending: Vec<usize>,
     faults: Vec<FaultInjection>,
-    rng: StdRng,
+    rng: Rng,
     golden: u64,
     // Rolling metrics.
     samples: Vec<Sample>,
@@ -275,7 +274,7 @@ impl ClusterSim {
                 .collect(),
             pending: Vec::new(),
             faults,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             golden: golden_expected(),
             samples: Vec::new(),
             output_mpix_window: 0.0,

@@ -135,8 +135,7 @@ pub fn encode(cfg: &EncoderConfig, video: &Video) -> Result<Encoded, CodecError>
     // content makes the filtered frame keyframe-expensive).
     let mut inter_bytes_mean: Option<f64> = None;
 
-    for i in 0..n {
-        let kind = kinds[i];
+    for (i, &kind) in kinds.iter().enumerate() {
         if kind == FrameKind::Key {
             since_altref = usize::MAX / 2; // force altref right after key
         }
@@ -264,7 +263,7 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, CodecError> {
     let h = r.u16()? as usize;
     let fps = r.f32()? as f64;
     let coded_frames = r.u32()? as usize;
-    if w == 0 || h == 0 || w % 2 != 0 || h % 2 != 0 {
+    if w == 0 || h == 0 || !w.is_multiple_of(2) || !h.is_multiple_of(2) {
         return Err(CodecError::CorruptBitstream("invalid dimensions"));
     }
     if !(fps.is_finite() && fps > 0.0) {
@@ -285,8 +284,8 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, CodecError> {
         let len = r.u32()? as usize;
         let payload = r.take(len)?;
         let checksum = {
-            let c = r.u32()?;
-            c
+            
+            r.u32()?
         };
         if fnv1a(payload) != checksum {
             return Err(CodecError::CorruptBitstream("frame checksum mismatch"));

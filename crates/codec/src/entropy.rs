@@ -26,7 +26,7 @@ pub fn adapt(p: Prob, bit: bool) -> Prob {
         // Bit was 1: probability of zero decreases.
         (p - (p >> ADAPT_SHIFT)).max(1)
     } else {
-        (p + ((255 - p) >> ADAPT_SHIFT)).min(255)
+        p + ((255 - p) >> ADAPT_SHIFT)
     }
 }
 

@@ -349,7 +349,7 @@ impl FrameEnc<'_> {
                     mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, &mut p2);
                     self.stats.mc_pixels += (bw * bh) as u64;
                     for (a, b) in p.iter_mut().zip(&p2) {
-                        *a = ((*a as u16 + *b as u16 + 1) / 2) as u8;
+                        *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
                     }
                 }
                 self.last_mv = *mv;
@@ -457,7 +457,7 @@ impl FrameEnc<'_> {
                         let mut p2 = vec![0u8; cbw * cbh];
                         mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, &mut p2);
                         for (a, b) in p.iter_mut().zip(&p2) {
-                            *a = ((*a as u16 + *b as u16 + 1) / 2) as u8;
+                            *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
                         }
                     }
                     self.stats.mc_pixels += (cbw * cbh) as u64;
@@ -526,7 +526,7 @@ impl FrameEnc<'_> {
             neighbors.predict(m, &mut pred_buf);
             self.stats.intra_pixels += (bw * bh) as u64;
             let sad: u64 = metric(cur_blk, &pred_buf, self.stats);
-            if best_intra.map_or(true, |(_, s)| sad < s) {
+            if best_intra.is_none_or(|(_, s)| sad < s) {
                 best_intra = Some((m, sad));
             }
         }
@@ -584,7 +584,7 @@ impl FrameEnc<'_> {
                 let avg: Vec<u8> = p1
                     .iter()
                     .zip(&p2)
-                    .map(|(a, b)| ((*a as u16 + *b as u16 + 1) / 2) as u8)
+                    .map(|(a, b)| (*a as u16 + *b as u16).div_ceil(2) as u8)
                     .collect();
                 let sad: u64 = metric(cur_blk, &avg, self.stats);
                 let cost = sad as f64
@@ -619,6 +619,7 @@ impl FrameEnc<'_> {
 ///
 /// Returns [`CodecError::CorruptBitstream`] if syntax elements are out
 /// of range (truncated/corrupted payloads).
+#[allow(clippy::too_many_arguments)]
 pub fn decode_frame(
     profile: Profile,
     payload: &[u8],
@@ -773,7 +774,7 @@ impl FrameDec<'_> {
                     mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, &mut p2);
                     self.stats.mc_pixels += (bw * bh) as u64;
                     for (a, b) in p.iter_mut().zip(&p2) {
-                        *a = ((*a as u16 + *b as u16 + 1) / 2) as u8;
+                        *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
                     }
                 }
                 p
@@ -856,7 +857,7 @@ impl FrameDec<'_> {
                         let mut p2 = vec![0u8; cbw * cbh];
                         mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, &mut p2);
                         for (a, b) in p.iter_mut().zip(&p2) {
-                            *a = ((*a as u16 + *b as u16 + 1) / 2) as u8;
+                            *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
                         }
                     }
                     self.stats.mc_pixels += (cbw * cbh) as u64;

@@ -96,6 +96,7 @@ pub struct SearchResult {
 /// Searches `reference` for the best match to the `bw x bh` block of
 /// `current` at `(x, y)`, seeded with `predictor` (and the zero vector).
 /// SAD work is metered into `stats`.
+#[allow(clippy::too_many_arguments)]
 pub fn search(
     reference: &Plane,
     current: &Plane,

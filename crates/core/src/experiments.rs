@@ -54,7 +54,7 @@ fn saturating_jobs(vcus: usize, horizon_s: f64, mot: bool, seed: u64) -> Vec<Job
     let mut i = 0usize;
     while t < horizon_s {
         let r = resolutions[(i + seed as usize) % resolutions.len()];
-        let profile = if i % 2 == 0 {
+        let profile = if i.is_multiple_of(2) {
             Profile::Vp9Sim
         } else {
             Profile::H264Sim
@@ -264,7 +264,7 @@ pub fn fig9c(months: usize, switch_month: usize, seed: u64) -> Vec<DecodePoint> 
         let mut t = 0.0;
         let mut i = 0usize;
         while t < horizon {
-            let job = if i % 4 == 0 {
+            let job = if i.is_multiple_of(4) {
                 TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0)
             } else {
                 TranscodeJob::sot(

@@ -78,7 +78,8 @@ pub fn bd_rate(anchor: &[RdPoint], test: &[RdPoint]) -> Result<f64, BdRateError>
 
     let lo = a.min_psnr.max(t.min_psnr);
     let hi = a.max_psnr.min(t.max_psnr);
-    if !(hi > lo) {
+    // NaN-aware: any incomparable pair (NaN PSNR) is "no overlap".
+    if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Err(BdRateError::NoOverlap);
     }
 
@@ -188,10 +189,11 @@ fn solve4(a: &mut [[f64; 5]; 4]) -> Option<[f64; 4]> {
             return None;
         }
         a.swap(col, best);
-        for row in col + 1..4 {
-            let f = a[row][col] / a[col][col];
-            for k in col..5 {
-                a[row][k] -= f * a[col][k];
+        let pivot = a[col];
+        for row in a.iter_mut().skip(col + 1) {
+            let f = row[col] / pivot[col];
+            for (k, &pv) in pivot.iter().enumerate().skip(col) {
+                row[k] -= f * pv;
             }
         }
     }

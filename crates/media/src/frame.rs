@@ -33,7 +33,7 @@ impl Frame {
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be nonzero");
         assert!(
-            width % 2 == 0 && height % 2 == 0,
+            width.is_multiple_of(2) && height.is_multiple_of(2),
             "4:2:0 frames require even dimensions"
         );
         let mut u = Plane::new(width / 2, height / 2);

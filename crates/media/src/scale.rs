@@ -71,7 +71,7 @@ fn bilinear(src: &Plane, dw: usize, dh: usize) -> Plane {
 /// Panics if `dw`/`dh` are zero or odd.
 pub fn scale_frame(src: &Frame, dw: usize, dh: usize) -> Frame {
     assert!(dw > 0 && dh > 0, "target dimensions must be nonzero");
-    assert!(dw % 2 == 0 && dh % 2 == 0, "4:2:0 requires even dimensions");
+    assert!(dw.is_multiple_of(2) && dh.is_multiple_of(2), "4:2:0 requires even dimensions");
     Frame::from_planes(
         scale_plane(src.y(), dw, dh),
         scale_plane(src.u(), dw / 2, dh / 2),

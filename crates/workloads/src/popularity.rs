@@ -7,7 +7,7 @@
 //! *treatment*: which formats and how much encoding effort a video
 //! receives.
 
-use rand::Rng;
+use vcu_rng::Rng;
 
 /// The paper's three popularity buckets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -56,7 +56,7 @@ impl Default for PopularityModel {
 
 impl PopularityModel {
     /// Samples an expected view count.
-    pub fn sample_views(&self, rng: &mut impl Rng) -> f64 {
+    pub fn sample_views(&self, rng: &mut Rng) -> f64 {
         // Inverse CDF of the Pareto distribution.
         let u: f64 = rng.gen_range(1e-12..1.0);
         self.scale * u.powf(-1.0 / self.alpha)
@@ -97,12 +97,10 @@ impl PopularityModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn buckets(n: usize) -> (usize, usize, usize) {
         let m = PopularityModel::default();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut counts = (0usize, 0usize, 0usize);
         for _ in 0..n {
             match m.bucket(m.sample_views(&mut rng)) {
@@ -127,7 +125,7 @@ mod tests {
         // §2.2: the head is a small fraction of videos but the majority
         // of watch time.
         let m = PopularityModel::default();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut head_views = 0.0;
         let mut total_views = 0.0;
         let mut head_count = 0usize;

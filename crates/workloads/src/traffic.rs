@@ -7,9 +7,8 @@
 //! simulator consumes these request streams.
 
 use crate::popularity::{PopularityBucket, PopularityModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vcu_media::Resolution;
+use vcu_rng::Rng;
 
 /// The workload families of §2.2, each with its own latency target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,13 +75,12 @@ impl UploadTraffic {
 
     /// Generates all requests arriving within `horizon_s` seconds.
     pub fn generate(&self, horizon_s: f64) -> Vec<Request> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let mut t = 0.0f64;
         let mut out = Vec::new();
         loop {
             // Exponential inter-arrival times (Poisson process).
-            let u: f64 = rng.gen_range(1e-12..1.0);
-            t += -u.ln() / self.rate_per_s;
+            t += rng.exponential(self.rate_per_s);
             if t >= horizon_s {
                 break;
             }
@@ -105,7 +103,7 @@ impl UploadTraffic {
     }
 }
 
-fn pick_resolution(rng: &mut impl Rng) -> Resolution {
+fn pick_resolution(rng: &mut Rng) -> Resolution {
     let x: f64 = rng.gen_range(0.0..1.0);
     let mut acc = 0.0;
     for (r, p) in UPLOAD_MIX {
@@ -141,15 +139,16 @@ impl LiveTraffic {
     /// Generates the session start events for `horizon_s`: whenever a
     /// stream ends another starts, keeping `concurrent` running.
     pub fn generate(&self, horizon_s: f64) -> Vec<Request> {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x11FE);
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0x11FE);
         let mut out = Vec::new();
         for slot in 0..self.concurrent {
             let mut t = 0.0f64;
             // Stagger initial starts.
             t += rng.gen_range(0.0..self.mean_length_s * 0.1);
             while t < horizon_s {
-                let u: f64 = rng.gen_range(1e-12..1.0);
-                let len = (-u.ln() * self.mean_length_s).clamp(30.0, horizon_s);
+                let len = rng
+                    .exponential(1.0 / self.mean_length_s)
+                    .clamp(30.0, horizon_s);
                 let resolution = if rng.gen_bool(0.3) {
                     Resolution::R1080
                 } else {

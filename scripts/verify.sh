@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: hermetic build + full test suite + lint, all
+# offline. This is the command CI and reviewers run; it must pass from
+# a clean checkout with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -D warnings (all targets)"
+cargo clippy --workspace --all-targets --offline -q -- -D warnings
+
+echo "tier-1 verify: OK"

@@ -1,0 +1,109 @@
+//! Determinism regression tests: the whole pipeline — traffic
+//! generation through cluster simulation to the TCO summary — must be
+//! bit-stable for a fixed seed. Every randomness source is the
+//! vendored `vcu-rng` stream, so two runs with the same seed produce
+//! byte-identical reports, and different seeds genuinely differ.
+
+use vcu_chip::{System, WorkloadShape};
+use vcu_cluster::tco::{perf_per_tco_normalized, system_tco};
+use vcu_cluster::{ClusterConfig, ClusterSim, ClusterReport, FaultInjection, FaultKind, JobSpec};
+use vcu_codec::Profile;
+use vcu_system::platform::Platform;
+use vcu_workloads::UploadTraffic;
+
+/// Seeded workload: expand an upload-traffic stream through the
+/// platform into cluster jobs.
+fn jobs_for_seed(seed: u64) -> Vec<JobSpec> {
+    let reqs = UploadTraffic::new(1.5, seed).generate(120.0);
+    Platform::default().jobs_for_all(&reqs)
+}
+
+/// One full simulation with corruption in play, so the detection
+/// coin-flips (the simulator's only runtime randomness) matter.
+fn run(seed: u64) -> ClusterReport {
+    let cfg = ClusterConfig {
+        vcus: 6,
+        detection_rate: 0.6,
+        seed,
+        ..ClusterConfig::default()
+    };
+    let faults = vec![FaultInjection {
+        time_s: 5.0,
+        worker: 1,
+        kind: FaultKind::SilentCorruption,
+    }];
+    ClusterSim::new(cfg, jobs_for_seed(seed), faults).run()
+}
+
+/// Bit-exact image of a report: per-sample fields (f64 bits), attempts
+/// per worker, and total output Mpix (f64 bits).
+type Trace = (Vec<(u64, u64, u64, u64, u64)>, Vec<u64>, u64);
+
+/// The full job-completion trace and TCO summary of a report, as
+/// comparable values. Floats are compared bit-exactly: determinism
+/// here means *byte-identical*, not approximately equal.
+fn trace(r: &ClusterReport) -> Trace {
+    let samples = r
+        .samples
+        .iter()
+        .map(|s| {
+            (
+                s.time_s.to_bits(),
+                s.encode_util.to_bits(),
+                s.decode_util.to_bits(),
+                s.mpix_s_per_vcu.to_bits(),
+                s.queued as u64,
+            )
+        })
+        .collect();
+    (samples, r.attempts_per_worker.clone(), r.total_output_mpix.to_bits())
+}
+
+#[test]
+fn same_seed_is_byte_identical() {
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.failed, b.failed);
+    assert_eq!(a.retries, b.retries);
+    assert_eq!(a.escaped_corruptions, b.escaped_corruptions);
+    assert_eq!(a.caught_corruptions, b.caught_corruptions);
+    assert_eq!(a.sw_decoded_jobs, b.sw_decoded_jobs);
+    assert_eq!(trace(&a), trace(&b), "job-completion traces must be identical");
+    assert_eq!(
+        a.mean_wait_s.to_bits(),
+        b.mean_wait_s.to_bits(),
+        "mean wait must be bit-identical"
+    );
+    assert_eq!(
+        a.mean_vcus_per_video.to_bits(),
+        b.mean_vcus_per_video.to_bits()
+    );
+    // TCO summary over the same fleet: identical inputs, identical
+    // dollars and perf/TCO.
+    let sys = System::VcuHost { vcus: 6 };
+    let t1 = system_tco(sys);
+    let t2 = system_tco(sys);
+    assert_eq!(t1.total().to_bits(), t2.total().to_bits());
+    let p1 = perf_per_tco_normalized(sys, Profile::Vp9Sim, WorkloadShape::SotTwoPass).unwrap();
+    let p2 = perf_per_tco_normalized(sys, Profile::Vp9Sim, WorkloadShape::SotTwoPass).unwrap();
+    assert_eq!(p1.to_bits(), p2.to_bits(), "TCO summary must be bit-identical");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(42);
+    let b = run(43);
+    // Different seeds generate different traffic and different
+    // detection outcomes; the traces cannot coincide.
+    assert_ne!(trace(&a), trace(&b), "different seeds must produce different traces");
+}
+
+#[test]
+fn traffic_generation_is_deterministic() {
+    let a = UploadTraffic::new(3.0, 7).generate(200.0);
+    let b = UploadTraffic::new(3.0, 7).generate(200.0);
+    assert_eq!(a, b);
+    let c = UploadTraffic::new(3.0, 8).generate(200.0);
+    assert_ne!(a, c, "different traffic seeds must differ");
+}

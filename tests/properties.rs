@@ -1,6 +1,8 @@
-//! Property-based tests over the core data structures and invariants.
+//! Property-based tests over the core data structures and invariants,
+//! driven by the in-repo seeded harness (`vcu_rng::prop_cases!`). A
+//! failing case prints the exact seed; replay it with
+//! `VCU_PROP_SEED=<seed> cargo test <name>`.
 
-use proptest::prelude::*;
 use vcu_codec::entropy::{
     read_int, read_uint, write_int, write_uint, AdaptiveModel, BoolDecoder, BoolEncoder,
 };
@@ -9,14 +11,17 @@ use vcu_media::bdrate::{bd_rate, RdPoint};
 use vcu_media::scale::scale_plane;
 use vcu_media::synth::{ContentClass, SynthSpec};
 use vcu_media::{Frame, Plane, Resolution, Video};
+use vcu_rng::prop_cases;
 
-proptest! {
+prop_cases! {
     /// The arithmetic coder round-trips any bit sequence at any
     /// probability sequence.
-    #[test]
-    fn bool_coder_round_trips(
-        bits in proptest::collection::vec((any::<bool>(), 1u8..=255), 1..500)
-    ) {
+    #[cases(256)]
+    fn bool_coder_round_trips(rng) {
+        let n = rng.gen_range(1usize..500);
+        let bits: Vec<(bool, u8)> = (0..n)
+            .map(|_| (rng.gen_bool(0.5), rng.gen_range(1u8..=255)))
+            .collect();
         let mut enc = BoolEncoder::new();
         for (b, p) in &bits {
             enc.put(*b, *p);
@@ -24,13 +29,15 @@ proptest! {
         let bytes = enc.finish();
         let mut dec = BoolDecoder::new(&bytes);
         for (b, p) in &bits {
-            prop_assert_eq!(dec.get(*p), *b);
+            assert_eq!(dec.get(*p), *b);
         }
     }
 
     /// Adaptive integer coding round-trips arbitrary values.
-    #[test]
-    fn adaptive_ints_round_trip(values in proptest::collection::vec(-100_000i32..100_000, 1..200)) {
+    #[cases(256)]
+    fn adaptive_ints_round_trip(rng) {
+        let n = rng.gen_range(1usize..200);
+        let values: Vec<i32> = (0..n).map(|_| rng.gen_range(-100_000i32..100_000)).collect();
         let mut enc = BoolEncoder::new();
         let mut me = AdaptiveModel::new(8);
         for v in &values {
@@ -40,13 +47,15 @@ proptest! {
         let mut dec = BoolDecoder::new(&bytes);
         let mut md = AdaptiveModel::new(8);
         for v in &values {
-            prop_assert_eq!(read_int(&mut dec, &mut md, 0), *v);
+            assert_eq!(read_int(&mut dec, &mut md, 0), *v);
         }
     }
 
     /// Unsigned variant.
-    #[test]
-    fn adaptive_uints_round_trip(values in proptest::collection::vec(0u32..2_000_000, 1..200)) {
+    #[cases(256)]
+    fn adaptive_uints_round_trip(rng) {
+        let n = rng.gen_range(1usize..200);
+        let values: Vec<u32> = (0..n).map(|_| rng.gen_range(0u32..2_000_000)).collect();
         let mut enc = BoolEncoder::new();
         let mut me = AdaptiveModel::new(8);
         for v in &values {
@@ -56,41 +65,45 @@ proptest! {
         let mut dec = BoolDecoder::new(&bytes);
         let mut md = AdaptiveModel::new(8);
         for v in &values {
-            prop_assert_eq!(read_uint(&mut dec, &mut md, 0), *v);
+            assert_eq!(read_uint(&mut dec, &mut md, 0), *v);
         }
     }
 
     /// Plane block copy with clamping never panics and always fills
     /// the destination, for any geometry.
-    #[test]
-    fn plane_block_copy_total(
-        w in 1usize..64, h in 1usize..64,
-        x in -70isize..70, y in -70isize..70,
-        bw in 1usize..32, bh in 1usize..32,
-    ) {
+    #[cases(256)]
+    fn plane_block_copy_total(rng) {
+        let w = rng.gen_range(1usize..64);
+        let h = rng.gen_range(1usize..64);
+        let x = rng.gen_range(-70isize..70);
+        let y = rng.gen_range(-70isize..70);
+        let bw = rng.gen_range(1usize..32);
+        let bh = rng.gen_range(1usize..32);
         let p = Plane::from_fn(w, h, |a, b| (a * 7 + b * 13) as u8);
         let mut dst = vec![1u8; bw * bh];
         p.copy_block_clamped(x, y, bw, bh, &mut dst);
         // Every value must be a value that exists in the plane (clamp
         // can only replicate real pixels).
         for v in dst {
-            prop_assert!(p.data().contains(&v));
+            assert!(p.data().contains(&v));
         }
     }
 
     /// Downscaling preserves the mean within rounding.
-    #[test]
-    fn scaling_preserves_mean(seed in 0u64..500) {
+    #[cases(256)]
+    fn scaling_preserves_mean(rng) {
+        let seed = rng.gen_range(0u64..500);
         let p = Plane::from_fn(48, 32, |x, y| {
             ((x as u64 * 31 + y as u64 * 17 + seed * 7) % 251) as u8
         });
         let s = scale_plane(&p, 24, 16);
-        prop_assert!((p.mean() - s.mean()).abs() < 3.0);
+        assert!((p.mean() - s.mean()).abs() < 3.0);
     }
 
     /// BD-rate antisymmetry: bd(a,b) and bd(b,a) compose to identity.
-    #[test]
-    fn bd_rate_antisymmetric(mult in 0.3f64..3.0) {
+    #[cases(256)]
+    fn bd_rate_antisymmetric(rng) {
+        let mult = rng.gen_range(0.3f64..3.0);
         let curve = |m: f64| -> Vec<RdPoint> {
             [0.5f64, 1.0, 2.0, 4.0]
                 .iter()
@@ -102,31 +115,30 @@ proptest! {
         let ab = bd_rate(&a, &b).unwrap();
         let ba = bd_rate(&b, &a).unwrap();
         let prod = (1.0 + ab / 100.0) * (1.0 + ba / 100.0);
-        prop_assert!((prod - 1.0).abs() < 1e-6, "prod {}", prod);
+        assert!((prod - 1.0).abs() < 1e-6, "prod {}", prod);
     }
 
     /// Frame invariants: chroma is half luma, raw size is 1.5 B/px.
-    #[test]
-    fn frame_invariants(w in 1usize..32, h in 1usize..32) {
+    #[cases(256)]
+    fn frame_invariants(rng) {
+        let w = rng.gen_range(1usize..32);
+        let h = rng.gen_range(1usize..32);
         let f = Frame::new(w * 2, h * 2);
-        prop_assert_eq!(f.u().width() * 2, f.width());
-        prop_assert_eq!(f.raw_bytes(), (f.pixels() * 3) / 2);
+        assert_eq!(f.u().width() * 2, f.width());
+        assert_eq!(f.raw_bytes(), (f.pixels() * 3) / 2);
     }
 }
 
-proptest! {
-    // Whole-codec round trips are expensive; keep the case count low.
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
+// Whole-codec round trips are expensive; keep the case count low.
+prop_cases! {
     /// The decoder reproduces frame counts and stays within sane
     /// distortion bounds for arbitrary synthetic content and QP.
-    #[test]
-    fn codec_round_trip_any_content(
-        seed in 0u64..1000,
-        qp in 8u8..55,
-        profile_vp9 in any::<bool>(),
-        frames in 2usize..6,
-    ) {
+    #[cases(6)]
+    fn codec_round_trip_any_content(rng) {
+        let seed = rng.gen_range(0u64..1000);
+        let qp = rng.gen_range(8u8..55);
+        let profile_vp9 = rng.gen_bool(0.5);
+        let frames = rng.gen_range(2usize..6);
         let content = ContentClass {
             spatial_detail: (seed % 10) as f64 / 10.0,
             pan_speed: (seed % 4) as f64,
@@ -140,8 +152,8 @@ proptest! {
         let cfg = EncoderConfig::const_qp(profile, Qp::new(qp));
         let e = encode(&cfg, &video).expect("encode");
         let d = decode(&e.bytes).expect("decode own bitstream");
-        prop_assert_eq!(d.video.frames.len(), video.frames.len());
-        prop_assert_eq!(d.video.width(), video.width());
+        assert_eq!(d.video.frames.len(), video.frames.len());
+        assert_eq!(d.video.width(), video.width());
         // Reconstruction error bounded by quantizer scale: max per-pixel
         // error across the video should not exceed a generous multiple
         // of the step size.
@@ -155,13 +167,15 @@ proptest! {
             .max()
             .unwrap_or(0);
         let bound = (Qp::new(qp).step() * 12.0 + 48.0) as i32;
-        prop_assert!(max_err <= bound, "max err {} > bound {}", max_err, bound);
+        assert!(max_err <= bound, "max err {} > bound {}", max_err, bound);
     }
 
     /// Any single-byte container corruption is either detected or
     /// changes the output (never silently decodes identically).
-    #[test]
-    fn corruption_never_silently_identical(pos_frac in 0.1f64..0.95, flip in 1u8..255) {
+    #[cases(6)]
+    fn corruption_never_silently_identical(rng) {
+        let pos_frac = rng.gen_range(0.1f64..0.95);
+        let flip = rng.gen_range(1u8..255);
         let video = SynthSpec::new(
             Resolution::R144, 3, ContentClass::talking_head(), 4,
         ).generate();
@@ -173,23 +187,25 @@ proptest! {
         bytes[pos] ^= flip;
         match decode(&bytes) {
             Err(_) => {} // detected: good
-            Ok(d) => prop_assert_ne!(d.video, reference),
+            Ok(d) => assert_ne!(d.video, reference),
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
+prop_cases! {
     /// The decoder never panics on arbitrary garbage input.
-    #[test]
-    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+    #[cases(64)]
+    fn decoder_total_on_garbage(rng) {
+        let n = rng.gen_range(0usize..400);
+        let bytes: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..=255)).collect();
         let _ = decode(&bytes); // must return, never panic
     }
 
     /// Nor on garbage wearing a valid container header.
-    #[test]
-    fn decoder_total_on_framed_garbage(payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+    #[cases(64)]
+    fn decoder_total_on_framed_garbage(rng) {
+        let n = rng.gen_range(0usize..300);
+        let payload: Vec<u8> = (0..n).map(|_| rng.gen_range(0u8..=255)).collect();
         let mut bytes = Vec::new();
         bytes.extend_from_slice(b"VCSM");
         bytes.push(1); // version

@@ -113,6 +113,10 @@ impl Harness {
     /// Writes all records as JSON to `path` (creating parent dirs) and
     /// prints where they went. Hand-rolled serialization — the
     /// workspace is dependency-free by design.
+    ///
+    /// A telemetry snapshot (`<stem>_telemetry.json`) is written next
+    /// to the raw records, so bench runs and simulator runs share one
+    /// observability format for downstream tooling.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
         let mut out = String::from("[\n");
         for (i, r) in self.records.iter().enumerate() {
@@ -136,7 +140,31 @@ impl Harness {
         }
         std::fs::write(path, out)?;
         println!("\nwrote {} records to {path}", self.records.len());
-        Ok(())
+        self.write_telemetry(&telemetry_sibling(path))
+    }
+
+    /// Mirrors the records into a telemetry registry and writes its
+    /// snapshot to `path`.
+    fn write_telemetry(&self, path: &str) -> std::io::Result<()> {
+        let reg = vcu_telemetry::Registry::new();
+        for r in &self.records {
+            reg.counter_add(&format!("bench.{}.iters", r.name), r.iters);
+            reg.gauge_set(&format!("bench.{}.median_ns", r.name), r.median_ns);
+            reg.gauge_set(&format!("bench.{}.min_ns", r.name), r.min_ns);
+            reg.gauge_set(&format!("bench.{}.mean_ns", r.name), r.mean_ns);
+            if let Some(t) = r.elems_per_s() {
+                reg.gauge_set(&format!("bench.{}.elems_per_s", r.name), t);
+            }
+        }
+        reg.write_snapshot(path, &[("records", &self.records.len().to_string())])
+    }
+}
+
+/// `results/bench_foo.json` → `results/bench_foo_telemetry.json`.
+fn telemetry_sibling(path: &str) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}_telemetry.json"),
+        None => format!("{path}_telemetry.json"),
     }
 }
 
@@ -193,5 +221,15 @@ mod tests {
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"smoke/nop\""));
         assert!(body.trim_start().starts_with('['));
+        // The telemetry twin lands next to the records.
+        let twin = std::fs::read_to_string(telemetry_sibling(path)).unwrap();
+        assert!(twin.contains("\"bench.smoke/nop.median_ns\""));
+        assert!(twin.contains("\"telemetry_version\""));
+    }
+
+    #[test]
+    fn telemetry_sibling_paths() {
+        assert_eq!(telemetry_sibling("results/bench_x.json"), "results/bench_x_telemetry.json");
+        assert_eq!(telemetry_sibling("raw"), "raw_telemetry.json");
     }
 }

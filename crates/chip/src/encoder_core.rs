@@ -13,6 +13,7 @@
 
 use crate::calib::{self, stage_cycles};
 use vcu_codec::Profile;
+use vcu_telemetry::Registry;
 
 /// Pipeline stages of Figure 4, in order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,26 @@ impl Stage {
             Stage::Entropy => stage_cycles::ENTROPY,
             Stage::LoopFilter => stage_cycles::LOOPFILTER,
             Stage::Dma => stage_cycles::DMA,
+        }
+    }
+
+    /// Telemetry-stable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::MotionRdo => "motion_rdo",
+            Stage::Entropy => "entropy",
+            Stage::LoopFilter => "loop_filter",
+            Stage::Dma => "dma",
+        }
+    }
+
+    /// Telemetry metric name for this stage's occupancy gauge.
+    fn occupancy_metric(self) -> &'static str {
+        match self {
+            Stage::MotionRdo => "chip.pipeline.occupancy.motion_rdo",
+            Stage::Entropy => "chip.pipeline.occupancy.entropy",
+            Stage::LoopFilter => "chip.pipeline.occupancy.loop_filter",
+            Stage::Dma => "chip.pipeline.occupancy.dma",
         }
     }
 }
@@ -98,6 +119,34 @@ impl PipelineSim {
     /// (1.0 = ideal: the pipeline sustains the bottleneck stage's mean
     /// rate despite variability).
     pub fn relative_throughput(&self, blocks: u64) -> f64 {
+        self.simulate::<false>(blocks).relative_throughput
+    }
+
+    /// Like [`PipelineSim::relative_throughput`], additionally
+    /// recording per-stage occupancy (busy fraction of the makespan)
+    /// and throughput into `telemetry` — the encoder-core half of the
+    /// Fig. 9-style fleet dashboards.
+    pub fn relative_throughput_traced(&self, blocks: u64, telemetry: &Registry) -> f64 {
+        let outcome = self.simulate::<true>(blocks);
+        if telemetry.is_enabled() {
+            for (si, st) in Stage::ALL.iter().enumerate() {
+                telemetry.gauge_set(
+                    st.occupancy_metric(),
+                    outcome.busy_cycles[si] / outcome.makespan_cycles.max(1.0),
+                );
+            }
+            telemetry.gauge_set(
+                "chip.pipeline.relative_throughput",
+                outcome.relative_throughput,
+            );
+            telemetry.counter_add("chip.pipeline.blocks", blocks);
+        }
+        outcome.relative_throughput
+    }
+
+    /// `TRACK_BUSY` gates the per-stage occupancy accumulation so the
+    /// untraced hot path keeps the original inner loop bit-for-bit.
+    fn simulate<const TRACK_BUSY: bool>(&self, blocks: u64) -> PipelineOutcome {
         assert!(blocks > 0, "must simulate at least one block");
         let stages = Stage::ALL;
         let n = blocks as usize;
@@ -105,6 +154,7 @@ impl PipelineSim {
         let mut starts: Vec<Vec<f64>> = vec![Vec::with_capacity(n); stages.len()];
         // finish[s] = cycle when stage s finished its latest block.
         let mut finish = [0.0f64; 4];
+        let mut busy = [0.0f64; 4];
         let mut last_done = 0.0f64;
         for b in 0..n {
             let mut t_avail = 0.0f64; // when the block reaches stage 0
@@ -122,7 +172,11 @@ impl PipelineSim {
                         start = start.max(starts[si + 1][gate_block]);
                     }
                 }
-                let done = start + self.service_cycles(*st, b as u64);
+                let service = self.service_cycles(*st, b as u64);
+                let done = start + service;
+                if TRACK_BUSY {
+                    busy[si] += service;
+                }
                 starts[si].push(start);
                 finish[si] = done;
                 t_avail = done;
@@ -130,8 +184,22 @@ impl PipelineSim {
             last_done = t_avail;
         }
         let bottleneck = stages.iter().map(|s| s.mean_cycles()).max().unwrap() as f64;
-        (blocks as f64 * bottleneck) / last_done
+        PipelineOutcome {
+            relative_throughput: (blocks as f64 * bottleneck) / last_done,
+            busy_cycles: busy,
+            makespan_cycles: last_done,
+        }
     }
+}
+
+/// Raw result of one pipeline simulation.
+#[derive(Debug, Clone, Copy)]
+struct PipelineOutcome {
+    relative_throughput: f64,
+    /// Cycles each stage spent in service (occupancy numerator).
+    busy_cycles: [f64; 4],
+    /// Total cycles from first block in to last block out.
+    makespan_cycles: f64,
 }
 
 #[cfg(test)]
@@ -184,5 +252,35 @@ mod tests {
         let a = PipelineSim::new(4, 0.5).relative_throughput(1000);
         let b = PipelineSim::new(4, 0.5).relative_throughput(1000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_run_records_stage_occupancy() {
+        let reg = Registry::new();
+        let sim = PipelineSim::new(4, 0.5);
+        let traced = sim.relative_throughput_traced(2000, &reg);
+        assert_eq!(traced, sim.relative_throughput(2000), "tracing is observation-only");
+        for st in Stage::ALL {
+            let occ = reg
+                .gauge(st.occupancy_metric())
+                .unwrap_or_else(|| panic!("missing occupancy gauge for {}", st.name()));
+            assert!((0.0..=1.0).contains(&occ), "{}: {occ}", st.name());
+        }
+        // The bottleneck stage (largest mean cycles) must show the
+        // highest occupancy of the four.
+        let bottleneck = Stage::ALL.iter().copied().max_by_key(|s| s.mean_cycles()).unwrap();
+        let b_occ = reg.gauge(bottleneck.occupancy_metric()).unwrap();
+        for st in Stage::ALL {
+            assert!(b_occ >= reg.gauge(st.occupancy_metric()).unwrap() - 1e-12);
+        }
+        assert!(b_occ > 0.9, "bottleneck stage should be nearly saturated: {b_occ}");
+        assert_eq!(reg.counter("chip.pipeline.blocks"), 2000);
+    }
+
+    #[test]
+    fn disabled_registry_skips_recording() {
+        let reg = Registry::disabled();
+        PipelineSim::new(4, 0.5).relative_throughput_traced(500, &reg);
+        assert_eq!(reg.counter("chip.pipeline.blocks"), 0);
     }
 }

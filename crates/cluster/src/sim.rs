@@ -16,9 +16,11 @@
 
 use crate::des::EventQueue;
 use crate::scheduler::{Scheduler, SchedulerKind};
+use std::collections::{BTreeSet, HashMap};
 use vcu_chip::faults::{golden_expected, golden_test, FaultyVcu, HealthState};
 use vcu_rng::Rng;
 use vcu_chip::{ResourceDemand, TranscodeJob, VcuModel};
+use vcu_telemetry::{Registry, Scope};
 
 /// Priority classes (§3.3.3's pools).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -29,6 +31,43 @@ pub enum Priority {
     Normal,
     /// Batch / backfill.
     Batch,
+}
+
+impl Priority {
+    /// Telemetry-stable pool name.
+    pub fn pool_name(self) -> &'static str {
+        match self {
+            Priority::Critical => "critical",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Priority::Critical => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    const ALL: [Priority; 3] = [Priority::Critical, Priority::Normal, Priority::Batch];
+
+    fn running_series(self) -> &'static str {
+        match self {
+            Priority::Critical => "cluster.pool.critical.running",
+            Priority::Normal => "cluster.pool.normal.running",
+            Priority::Batch => "cluster.pool.batch.running",
+        }
+    }
+
+    fn queued_series(self) -> &'static str {
+        match self {
+            Priority::Critical => "cluster.pool.critical.queued",
+            Priority::Normal => "cluster.pool.normal.queued",
+            Priority::Batch => "cluster.pool.batch.queued",
+        }
+    }
 }
 
 /// One job submitted to the cluster.
@@ -222,16 +261,28 @@ pub struct ClusterSim {
     faults: Vec<FaultInjection>,
     rng: Rng,
     golden: u64,
-    // Rolling metrics.
+    // Rolling metrics. Job outcomes are tallied exactly once, in
+    // `handle_completion` — the single resolution point — instead of
+    // re-scanning `jobs` at the end of the run.
     samples: Vec<Sample>,
     output_mpix_window: f64,
     total_output_mpix: f64,
+    completed: u64,
+    failed: u64,
+    escaped: u64,
     retries: u64,
     caught: u64,
     attempts_per_worker: Vec<u64>,
     wait_sum: f64,
     wait_count: u64,
     sw_decoded: u64,
+    /// Jobs currently in service, per priority pool.
+    running_per_pool: [u64; 3],
+    /// Distinct VCUs that touched each video (blast radius), maintained
+    /// incrementally so samples can expose it as a time series.
+    touched_per_video: HashMap<u64, BTreeSet<usize>>,
+    /// Observability sink (disabled by default: zero cost).
+    telemetry: Registry,
 }
 
 impl ClusterSim {
@@ -251,6 +302,12 @@ impl ClusterSim {
         queue.schedule(cfg.sample_period_s, Event::Sample);
         let n_workers = cfg.vcus;
         let seed = cfg.seed;
+        // Every submitted video participates in the blast-radius mean,
+        // even if none of its chunks ever reach a VCU.
+        let touched_per_video = jobs
+            .iter()
+            .map(|j| (j.video_id, BTreeSet::new()))
+            .collect();
         ClusterSim {
             cfg,
             model: VcuModel::new(),
@@ -279,13 +336,41 @@ impl ClusterSim {
             samples: Vec::new(),
             output_mpix_window: 0.0,
             total_output_mpix: 0.0,
+            completed: 0,
+            failed: 0,
+            escaped: 0,
             retries: 0,
             caught: 0,
             attempts_per_worker: vec![0; n_workers],
             wait_sum: 0.0,
             wait_count: 0,
             sw_decoded: 0,
+            running_per_pool: [0; 3],
+            touched_per_video,
+            telemetry: Registry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry registry. Counters, per-pool utilization
+    /// series, job spans, and fault/quarantine events are then recorded
+    /// against the DES sim clock (never wall-clock), so same-seed runs
+    /// produce bit-identical snapshots.
+    pub fn with_telemetry(mut self, telemetry: Registry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Mean number of distinct VCUs that touched each video's chunks so
+    /// far (§4.4 blast radius).
+    fn mean_blast_radius(&self) -> f64 {
+        if self.touched_per_video.is_empty() {
+            return 0.0;
+        }
+        self.touched_per_video
+            .values()
+            .map(|s| s.len() as f64)
+            .sum::<f64>()
+            / self.touched_per_video.len() as f64
     }
 
     /// Runs to completion (all jobs resolved or event queue exhausted)
@@ -313,10 +398,22 @@ impl ClusterSim {
                     match inj.kind {
                         FaultKind::SilentCorruption => {
                             self.vcus[inj.worker].inject_silent_corruption();
+                            self.telemetry.event(
+                                "cluster.fault.silent_corruption",
+                                Scope::vcu(inj.worker as u32),
+                                now,
+                                1.0,
+                            );
                         }
                         FaultKind::Dead => {
                             self.vcus[inj.worker].disable();
                             self.scheduler.set_accepting(inj.worker, false);
+                            self.telemetry.event(
+                                "cluster.fault.dead",
+                                Scope::vcu(inj.worker as u32),
+                                now,
+                                1.0,
+                            );
                         }
                     }
                 }
@@ -330,6 +427,9 @@ impl ClusterSim {
                         queued: self.pending.len(),
                     };
                     self.samples.push(s);
+                    if self.telemetry.is_enabled() {
+                        self.record_sample(&s);
+                    }
                     self.output_mpix_window = 0.0;
                     // Keep sampling while anything remains.
                     if !self.queue.is_empty() || !self.pending.is_empty() {
@@ -344,33 +444,18 @@ impl ClusterSim {
             .map(|s| s.time_s)
             .unwrap_or(0.0)
             .max(self.queue.now());
-        let completed = self.jobs.iter().filter(|j| j.done && !j.failed).count() as u64;
-        let failed = self.jobs.iter().filter(|j| j.failed).count() as u64;
-        let escaped = self
-            .jobs
-            .iter()
-            .filter(|j| j.escaped_corruption)
-            .count() as u64;
-        // Blast radius: distinct VCUs per video id.
-        let mut per_video: std::collections::HashMap<u64, std::collections::BTreeSet<usize>> =
-            std::collections::HashMap::new();
-        for j in &self.jobs {
-            per_video
-                .entry(j.spec.video_id)
-                .or_default()
-                .extend(j.touched_vcus.iter().copied());
+        let mean_vcus_per_video = self.mean_blast_radius();
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .gauge_set("cluster.blast_radius.mean_vcus_per_video", mean_vcus_per_video);
+            self.telemetry.gauge_set("cluster.horizon_s", horizon_s);
         }
-        let mean_vcus_per_video = if per_video.is_empty() {
-            0.0
-        } else {
-            per_video.values().map(|s| s.len() as f64).sum::<f64>() / per_video.len() as f64
-        };
         ClusterReport {
             samples: self.samples,
-            completed,
-            failed,
+            completed: self.completed,
+            failed: self.failed,
             retries: self.retries,
-            escaped_corruptions: escaped,
+            escaped_corruptions: self.escaped,
             caught_corruptions: self.caught,
             sw_decoded_jobs: self.sw_decoded,
             mean_vcus_per_video,
@@ -382,6 +467,36 @@ impl ClusterSim {
             },
             total_output_mpix: self.total_output_mpix,
             horizon_s,
+        }
+    }
+
+    /// Records one metrics sample as telemetry time series (sim-clock
+    /// timestamps). Feeds the Fig. 9-style utilization dashboards.
+    fn record_sample(&self, s: &Sample) {
+        let t = s.time_s;
+        self.telemetry.series_record("cluster.util.encode", t, s.encode_util);
+        self.telemetry.series_record("cluster.util.decode", t, s.decode_util);
+        self.telemetry
+            .series_record("cluster.throughput.mpix_s_per_vcu", t, s.mpix_s_per_vcu);
+        self.telemetry
+            .series_record("cluster.queue.depth", t, s.queued as f64);
+        self.telemetry.series_record(
+            "cluster.blast_radius.mean_vcus_per_video",
+            t,
+            self.mean_blast_radius(),
+        );
+        let mut queued_per_pool = [0u64; 3];
+        for &j in &self.pending {
+            queued_per_pool[self.jobs[j].spec.priority.index()] += 1;
+        }
+        for p in Priority::ALL {
+            self.telemetry.series_record(
+                p.running_series(),
+                t,
+                self.running_per_pool[p.index()] as f64,
+            );
+            self.telemetry
+                .series_record(p.queued_series(), t, queued_per_pool[p.index()] as f64);
         }
     }
 
@@ -503,6 +618,18 @@ impl ClusterSim {
         self.attempts_per_worker[w] += 1;
         self.wait_sum += now - job.spec.arrival_s;
         self.wait_count += 1;
+        self.running_per_pool[job.spec.priority.index()] += 1;
+        self.touched_per_video
+            .entry(job.spec.video_id)
+            .or_default()
+            .insert(w);
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_inc("cluster.attempts");
+            if sw {
+                self.telemetry.counter_inc("cluster.sw_decode");
+            }
+            self.telemetry.observe("cluster.wait_s", now - job.spec.arrival_s);
+        }
 
         let corrupting = self.vcus[w].state() == HealthState::SilentlyCorrupting;
         // A failing-but-fast VCU races through work (§4.4's black-hole
@@ -523,50 +650,98 @@ impl ClusterSim {
         );
     }
 
+    /// Telemetry scope for job `j`'s attempt on worker `w`.
+    fn job_scope(&self, j: usize, w: usize) -> Scope {
+        Scope::job(j as u64)
+            .with_video(self.jobs[j].spec.video_id)
+            .with_vcu(w as u32)
+    }
+
+    /// Marks job `j` resolved (success or permanent failure). The only
+    /// place `completed`/`failed`/`escaped` tallies move, so the report
+    /// and the telemetry counters cannot disagree.
+    fn resolve_job(&mut self, now: f64, j: usize, w: usize, failed: bool, escaped: bool) {
+        let job = &mut self.jobs[j];
+        job.done = true;
+        job.failed = failed;
+        job.escaped_corruption = escaped;
+        if !failed {
+            job.finished_at = Some(now);
+            let mpix = job.spec.job.output_pixels() / 1e6;
+            self.output_mpix_window += mpix;
+            self.total_output_mpix += mpix;
+        }
+        if failed {
+            self.failed += 1;
+        } else {
+            self.completed += 1;
+        }
+        if escaped {
+            self.escaped += 1;
+        }
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_inc(if failed {
+                "cluster.jobs.failed"
+            } else {
+                "cluster.jobs.completed"
+            });
+            if escaped {
+                self.telemetry.counter_inc("cluster.corruption.escaped");
+            }
+            let arrival = self.jobs[j].spec.arrival_s;
+            let attempts = self.jobs[j].attempts;
+            self.telemetry.span(
+                if failed { "cluster.job.failed" } else { "cluster.job" },
+                self.job_scope(j, w),
+                arrival,
+                now,
+                attempts as f64,
+            );
+        }
+    }
+
     fn handle_completion(&mut self, now: f64, j: usize, w: usize, corrupted: bool) {
+        self.running_per_pool[self.jobs[j].spec.priority.index()] -= 1;
         if corrupted {
             let detected =
                 self.cfg.integrity_checks && self.rng.gen_bool(self.cfg.detection_rate);
             if detected {
                 self.caught += 1;
+                self.telemetry.counter_inc("cluster.corruption.caught");
                 if self.cfg.blackhole_mitigation {
                     // §4.4: the worker aborts everything on this VCU;
                     // a fresh worker runs the golden test, which a
                     // corrupting VCU fails — quarantining it.
                     self.vcus[w].functional_reset();
                     if !golden_test(&self.vcus[w], self.golden) {
+                        // Completions already in flight when the VCU was
+                        // first quarantined re-run this path; only the
+                        // transition itself is an observable event.
+                        if !self.quarantined[w] {
+                            self.telemetry.counter_inc("cluster.quarantine");
+                            self.telemetry
+                                .event("cluster.quarantine", Scope::vcu(w as u32), now, 1.0);
+                        }
                         self.quarantined[w] = true;
                         self.scheduler.set_accepting(w, false);
                     }
                 }
                 // Retry at cluster level.
-                let job = &mut self.jobs[j];
-                if job.attempts > self.cfg.max_retries {
-                    job.failed = true;
-                    job.done = true;
+                if self.jobs[j].attempts > self.cfg.max_retries {
+                    self.resolve_job(now, j, w, true, false);
                 } else {
                     self.retries += 1;
+                    self.telemetry.counter_inc("cluster.retries");
                     self.enqueue_pending(j);
                 }
                 return;
             }
             // Undetected corruption ships (the paper admits "the system
             // will have bad video chunks escape").
-            let job = &mut self.jobs[j];
-            job.escaped_corruption = true;
-            job.done = true;
-            job.finished_at = Some(now);
-            let mpix = job.spec.job.output_pixels() / 1e6;
-            self.output_mpix_window += mpix;
-            self.total_output_mpix += mpix;
+            self.resolve_job(now, j, w, false, true);
             return;
         }
-        let job = &mut self.jobs[j];
-        job.done = true;
-        job.finished_at = Some(now);
-        let mpix = job.spec.job.output_pixels() / 1e6;
-        self.output_mpix_window += mpix;
-        self.total_output_mpix += mpix;
+        self.resolve_job(now, j, w, false, false);
     }
 }
 
@@ -784,6 +959,60 @@ mod tests {
             spread.mean_vcus_per_video
         );
         assert!(hashed.mean_vcus_per_video <= 3.0);
+    }
+
+    #[test]
+    fn telemetry_counters_match_report() {
+        let reg = Registry::new();
+        let cfg = ClusterConfig {
+            vcus: 4,
+            detection_rate: 1.0,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 0.0,
+            worker: 0,
+            kind: FaultKind::SilentCorruption,
+        }];
+        let report = ClusterSim::new(cfg, upload_jobs(60, 0.2, true), faults)
+            .with_telemetry(reg.clone())
+            .run();
+        assert_eq!(reg.counter("cluster.jobs.completed"), report.completed);
+        assert_eq!(reg.counter("cluster.jobs.failed"), report.failed);
+        assert_eq!(reg.counter("cluster.retries"), report.retries);
+        assert_eq!(reg.counter("cluster.corruption.caught"), report.caught_corruptions);
+        assert_eq!(reg.counter("cluster.corruption.escaped"), report.escaped_corruptions);
+        assert_eq!(
+            reg.counter("cluster.attempts"),
+            report.attempts_per_worker.iter().sum::<u64>()
+        );
+        // The quarantine shows up as both a counter and a trace event.
+        assert_eq!(reg.counter("cluster.quarantine"), 1);
+        assert_eq!(reg.events_named("cluster.quarantine").len(), 1);
+        assert_eq!(reg.events_named("cluster.fault.silent_corruption").len(), 1);
+        // Utilization series carry one point per sample.
+        let util = reg.series("cluster.util.encode").expect("series recorded");
+        assert_eq!(util.len(), report.samples.len());
+        // Job spans cover every resolved job.
+        let spans = reg.events_named("cluster.job");
+        assert_eq!(spans.len() as u64, report.completed);
+        assert!(spans.iter().all(|e| e.end_s >= e.start_s && e.value >= 1.0));
+    }
+
+    #[test]
+    fn disabled_telemetry_changes_nothing() {
+        let cfg = ClusterConfig {
+            vcus: 3,
+            ..ClusterConfig::default()
+        };
+        let plain = ClusterSim::new(cfg.clone(), upload_jobs(30, 1.0, true), vec![]).run();
+        let traced = ClusterSim::new(cfg, upload_jobs(30, 1.0, true), vec![])
+            .with_telemetry(Registry::new())
+            .run();
+        assert_eq!(plain.completed, traced.completed);
+        assert_eq!(plain.total_output_mpix, traced.total_output_mpix);
+        assert_eq!(plain.attempts_per_worker, traced.attempts_per_worker);
+        assert_eq!(plain.mean_vcus_per_video, traced.mean_vcus_per_video);
     }
 
     #[test]

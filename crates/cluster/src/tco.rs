@@ -29,7 +29,7 @@ impl Tco {
 
 /// All-in data-center cost per watt over 3 years (energy + cooling +
 /// power provisioning amortization).
-const OPEX_PER_WATT_3YR: f64 = 5.0;
+pub const OPEX_PER_WATT_3YR: f64 = 5.0;
 
 /// Dual-socket Skylake server capex.
 const SERVER_CAPEX: f64 = 10_000.0;
@@ -38,8 +38,20 @@ const T4_CAPEX: f64 = 3_800.0;
 /// VCU card (2 VCUs) capex — a lean single-purpose ASIC board.
 const VCU_CARD_CAPEX: f64 = 2_200.0;
 
-/// TCO of a system.
+/// TCO of a system at the default data-center power price
+/// ([`OPEX_PER_WATT_3YR`]).
 pub fn system_tco(system: System) -> Tco {
+    system_tco_with(system, OPEX_PER_WATT_3YR)
+}
+
+/// TCO of a system at an explicit 3-year all-in power price in $/W —
+/// the sensitivity knob for "how do Table 1's ratios move in a cheap
+/// (or expensive) power region?".
+pub fn system_tco_with(system: System, opex_per_watt_3yr: f64) -> Tco {
+    assert!(
+        opex_per_watt_3yr >= 0.0,
+        "power price must be non-negative, got {opex_per_watt_3yr}"
+    );
     let power = system.power_w();
     let capex = match system {
         System::SkylakeCpu => SERVER_CAPEX,
@@ -51,7 +63,7 @@ pub fn system_tco(system: System) -> Tco {
     };
     Tco {
         capex,
-        opex_3yr: power * OPEX_PER_WATT_3YR,
+        opex_3yr: power * opex_per_watt_3yr,
     }
 }
 
@@ -109,6 +121,63 @@ mod tests {
         assert!((15.0..28.0).contains(&v8), "v8 {v8}");
         assert!((25.0..42.0).contains(&v20), "v20 {v20}");
         assert!(perf_per_tco_normalized(System::GpuT4x4, p, s).is_none());
+    }
+
+    #[test]
+    fn known_answer_8xvcu() {
+        // 8 VCUs = 4 cards: capex is exactly server + 4 cards, and the
+        // opex term is power × price with nothing else folded in.
+        let sys = System::VcuHost { vcus: 8 };
+        let t = system_tco_with(sys, OPEX_PER_WATT_3YR);
+        assert_eq!(t.capex, SERVER_CAPEX + 4.0 * VCU_CARD_CAPEX);
+        assert_eq!(t.opex_3yr, sys.power_w() * OPEX_PER_WATT_3YR);
+        assert_eq!(t.total(), t.capex + t.opex_3yr);
+        // Free power leaves pure capex.
+        assert_eq!(system_tco_with(sys, 0.0).total(), t.capex);
+        // The default-price wrapper is the same model.
+        assert_eq!(system_tco(sys), t);
+    }
+
+    vcu_rng::prop_cases! {
+        /// TCO is monotone non-decreasing in the power price, for every
+        /// system shape.
+        #[cases(128)]
+        fn tco_monotone_in_power_price(rng) {
+            let a = rng.gen_range(0.0..20.0);
+            let b = rng.gen_range(0.0..20.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let vcus = rng.gen_range(1u32..33) as usize;
+            for sys in [
+                System::SkylakeCpu,
+                System::GpuT4x4,
+                System::VcuHost { vcus },
+            ] {
+                let cheap = system_tco_with(sys, lo).total();
+                let dear = system_tco_with(sys, hi).total();
+                assert!(
+                    cheap <= dear,
+                    "{sys:?}: total at ${lo}/W = {cheap} > total at ${hi}/W = {dear}"
+                );
+            }
+        }
+
+        /// Opex is linear in the power price; capex is independent of it.
+        #[cases(128)]
+        fn tco_opex_linear_capex_fixed(rng) {
+            let price = rng.gen_range(0.0..20.0);
+            let k = rng.gen_range(0.0..8.0);
+            let vcus = rng.gen_range(1u32..33) as usize;
+            let sys = System::VcuHost { vcus };
+            let one = system_tco_with(sys, price);
+            let scaled = system_tco_with(sys, price * k);
+            assert_eq!(one.capex, scaled.capex);
+            assert!(
+                (scaled.opex_3yr - one.opex_3yr * k).abs() <= 1e-9 * (1.0 + scaled.opex_3yr.abs()),
+                "opex not linear: {} vs {}",
+                scaled.opex_3yr,
+                one.opex_3yr * k
+            );
+        }
     }
 
     #[test]

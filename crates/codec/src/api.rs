@@ -13,7 +13,9 @@ use crate::rc::{first_pass, plan_frame_kinds, RateController};
 use crate::stats::CodingStats;
 use crate::tempfilter::temporal_filter_with_stats;
 use crate::types::{CodecError, FrameKind, Profile, Qp};
+use vcu_media::quality::psnr_y;
 use vcu_media::{Frame, Video};
+use vcu_telemetry::Registry;
 
 const MAGIC: &[u8; 4] = b"VCSM";
 const VERSION: u8 = 1;
@@ -89,6 +91,25 @@ fn fnv1a(bytes: &[u8]) -> u32 {
 ///
 /// Returns [`CodecError::InvalidConfig`] for invalid configurations.
 pub fn encode(cfg: &EncoderConfig, video: &Video) -> Result<Encoded, CodecError> {
+    encode_traced(cfg, video, &Registry::disabled())
+}
+
+/// Like [`encode`], additionally recording per-frame observability into
+/// `telemetry`: payload bits, a cycles-per-macroblock proxy (work-unit
+/// delta over the frame's macroblock count), and luma PSNR of the
+/// reconstruction. All three land in histograms
+/// (`codec.frame.{bits,cycles_per_mb,psnr_y}`) plus a `codec.frames`
+/// counter. With a disabled registry this is exactly [`encode`] — the
+/// PSNR computation is skipped, not just discarded.
+///
+/// # Errors
+///
+/// Returns [`CodecError::InvalidConfig`] for invalid configurations.
+pub fn encode_traced(
+    cfg: &EncoderConfig,
+    video: &Video,
+    telemetry: &Registry,
+) -> Result<Encoded, CodecError> {
     cfg.validate()?;
     let n = video.frames.len();
     let (w, h) = (video.width(), video.height());
@@ -187,7 +208,18 @@ pub fn encode(cfg: &EncoderConfig, video: &Video) -> Result<Encoded, CodecError>
             FrameKind::Inter => base_qp.offset(cfg.toolset.inter_qp_offset()),
             FrameKind::AltRef => base_qp,
         };
+        let work_before = stats.work_units();
         let (payload, recon) = encode_frame(cfg, &video.frames[i], kind, qp, &refs, &mut stats);
+        if telemetry.is_enabled() {
+            let mbs = (w.div_ceil(16) * h.div_ceil(16)) as f64;
+            telemetry.counter_inc("codec.frames");
+            telemetry.observe("codec.frame.bits", payload.len() as f64 * 8.0);
+            telemetry.observe(
+                "codec.frame.cycles_per_mb",
+                (stats.work_units() - work_before) / mbs.max(1.0),
+            );
+            telemetry.observe("codec.frame.psnr_y", psnr_y(&video.frames[i], &recon));
+        }
         refs.apply_refresh(kind, &recon);
         rc.update(payload.len() as u64 * 8);
         if kind == FrameKind::Inter {
@@ -465,6 +497,26 @@ mod tests {
         // Decode does strictly less work than encode.
         let d = decode(&e.bytes).unwrap();
         assert!(d.stats.work_units() < e.stats.work_units() / 2.0);
+    }
+
+    #[test]
+    fn traced_encode_records_per_frame_metrics() {
+        let v = clip(6, ContentClass::talking_head());
+        let cfg = EncoderConfig::const_qp(Profile::H264Sim, Qp::new(28));
+        let reg = Registry::new();
+        let traced = encode_traced(&cfg, &v, &reg).unwrap();
+        // Observation must not perturb the bitstream.
+        let plain = encode(&cfg, &v).unwrap();
+        assert_eq!(traced.bytes, plain.bytes);
+        // Six displayable frames pass through the main coding loop.
+        assert_eq!(reg.counter("codec.frames"), 6);
+        let bits = reg.histogram("codec.frame.bits").unwrap();
+        assert_eq!(bits.count, 6);
+        assert!(bits.sum > 0.0);
+        let cycles = reg.histogram("codec.frame.cycles_per_mb").unwrap();
+        assert!(cycles.min > 0.0, "every frame does some work");
+        let psnr = reg.histogram("codec.frame.psnr_y").unwrap();
+        assert!(psnr.min > 20.0, "qp28 recon quality: {}", psnr.min);
     }
 
     #[test]

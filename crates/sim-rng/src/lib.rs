@@ -20,6 +20,26 @@ pub mod prop;
 
 use std::ops::{Range, RangeInclusive};
 
+/// Seed from the `VCU_SEED` environment variable, or `default` when it
+/// is unset. Every example binary resolves its seed through this one
+/// helper so fixed-seed CI runs and ad-hoc seed sweeps use the same
+/// spelling.
+///
+/// # Panics
+///
+/// Panics when `VCU_SEED` is set but does not parse as a `u64` — a
+/// typo'd seed silently falling back to the default would defeat the
+/// point of setting it.
+pub fn env_seed(default: u64) -> u64 {
+    match std::env::var("VCU_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("VCU_SEED must be a u64, got {s:?}")),
+        Err(_) => default,
+    }
+}
+
 /// SplitMix64: a tiny, fast 64-bit generator used to expand a single
 /// `u64` seed into the 256-bit xoshiro state (Vigna's recommended
 /// seeding procedure; also a fine standalone stream mixer).

@@ -8,14 +8,17 @@
 //! bitrate against the 35 Mbps figure (scaled by resolution).
 //!
 //! Run with: `cargo run --release --example cloud_gaming`
+//! (set `VCU_SEED` to vary the generated content).
 
 use vcu_chip::{ResourceDemand, TranscodeJob, VcuModel};
+use vcu_telemetry::json::JsonObj;
 use vcu_codec::{decode, encode, EncoderConfig, PassMode, Profile, Qp};
 use vcu_media::quality::psnr_y_video;
 use vcu_media::synth::{ContentClass, SynthSpec};
 use vcu_media::Resolution;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = vcu_rng::env_seed(17);
     // Capacity: a 2160p60 low-latency two-pass SOT stream on one VCU.
     let model = VcuModel::new();
     let job = TranscodeJob::sot(
@@ -39,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pixel-level codec runs quickly (bitrate scales with pixels).
     let res = Resolution::R240;
     let fps = 60.0;
-    let clip = SynthSpec::new(res, 60, ContentClass::gaming(), 17)
+    let clip = SynthSpec::new(res, 60, ContentClass::gaming(), seed)
         .with_fps(fps);
     let video = clip.generate();
     // 35 Mbps at 2160p60 ≈ 35e6 × (240p pixels / 2160p pixels) here.
@@ -66,5 +69,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if err < 0.5 { "ok" } else { "out of band" }
     );
     let _ = Qp::new(30);
+
+    println!(
+        "{}",
+        JsonObj::new()
+            .str("example", "cloud_gaming")
+            .u64("seed", seed)
+            .f64("bitrate_mbps", e.bitrate_bps() / 1e6)
+            .f64("target_mbps", target as f64 / 1e6)
+            .f64("rc_error", err)
+            .f64("psnr_y_db", psnr)
+            .finish()
+    );
     Ok(())
 }

@@ -7,6 +7,7 @@
 //! the bad VCU is quarantined after its first detected failure.
 //!
 //! Run with: `cargo run --release --example failure_drill`
+//! (set `VCU_SEED` to vary detection coin-flips).
 
 use vcu_chip::TranscodeJob;
 use vcu_cluster::{
@@ -14,6 +15,7 @@ use vcu_cluster::{
 };
 use vcu_codec::Profile;
 use vcu_media::Resolution;
+use vcu_telemetry::json::JsonObj;
 
 fn jobs(n: usize) -> Vec<JobSpec> {
     (0..n)
@@ -34,25 +36,26 @@ fn fault() -> Vec<FaultInjection> {
     }]
 }
 
-fn run(mitigation: bool, integrity: bool) -> vcu_cluster::ClusterReport {
+fn run(seed: u64, mitigation: bool, integrity: bool) -> vcu_cluster::ClusterReport {
     let cfg = ClusterConfig {
         vcus: 4,
         blackhole_mitigation: mitigation,
         integrity_checks: integrity,
         detection_rate: 0.9,
         max_retries: 10,
-        seed: 5,
+        seed,
         ..ClusterConfig::default()
     };
     ClusterSim::new(cfg, jobs(80), fault()).run()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = vcu_rng::env_seed(5);
     println!("failure drill: worker 0 silently corrupts from t=0, 4 VCUs, 80 chunks\n");
 
-    let naive = run(false, false);
-    let detected = run(false, true);
-    let mitigated = run(true, true);
+    let naive = run(seed, false, false);
+    let detected = run(seed, false, true);
+    let mitigated = run(seed, true, true);
 
     let share = |r: &vcu_cluster::ClusterReport| {
         let total: u64 = r.attempts_per_worker.iter().sum();
@@ -92,4 +95,18 @@ fn main() {
     assert!(naive.escaped_corruptions > 0);
     assert!(mitigated.retries < detected.retries);
     assert!(share(&detected) > share(&mitigated));
+
+    println!(
+        "{}",
+        JsonObj::new()
+            .str("example", "failure_drill")
+            .u64("seed", seed)
+            .u64("naive_escaped", naive.escaped_corruptions)
+            .u64("detected_retries", detected.retries)
+            .u64("mitigated_retries", mitigated.retries)
+            .f64("blackhole_share", share(&detected))
+            .f64("mitigated_share", share(&mitigated))
+            .finish()
+    );
+    Ok(())
 }

@@ -8,8 +8,10 @@
 //! runs a real low-latency two-pass encode to show the mode works.
 //!
 //! Run with: `cargo run --release --example live_streaming`
+//! (set `VCU_SEED` to vary the generated content).
 
 use vcu_chip::{TranscodeJob, VcuModel, WorkloadShape};
+use vcu_telemetry::json::JsonObj;
 use vcu_codec::{decode, encode, EncoderConfig, PassMode, Profile, Qp, TuningLevel};
 use vcu_media::quality::psnr_y_video;
 use vcu_media::synth::{ContentClass, SynthSpec};
@@ -17,6 +19,7 @@ use vcu_media::Resolution;
 use vcu_system::platform::live_latency_s;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = vcu_rng::env_seed(3);
     let chunk_s = 2.0;
 
     // Software: VP9 encodes ~5x slower than real time on CPU; deep
@@ -46,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run the actual low-latency two-pass encoder mode on a live-ish
     // clip: no altref (needs future frames), statistics from past only.
-    let clip = SynthSpec::new(Resolution::R144, 30, ContentClass::gaming(), 3).generate();
+    let clip = SynthSpec::new(Resolution::R144, 30, ContentClass::gaming(), seed).generate();
     let cfg = EncoderConfig::bitrate(Profile::Vp9Sim, 900_000, PassMode::TwoPassLowLatency)
         .with_hardware(TuningLevel::MATURE);
     let e = encode(&cfg, &clip)?;
@@ -55,11 +58,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "low-latency mode must not emit altrefs"
     );
     let d = decode(&e.bytes)?;
+    let psnr = psnr_y_video(&clip, &d.video);
     println!(
-        "low-latency two-pass encode: {:.0} kbps (target 900), Y-PSNR {:.2} dB",
+        "low-latency two-pass encode: {:.0} kbps (target 900), Y-PSNR {psnr:.2} dB",
         e.bitrate_bps() / 1e3,
-        psnr_y_video(&clip, &d.video)
     );
     let _ = Qp::new(30); // silence unused import lint paths in minimal builds
+
+    println!(
+        "{}",
+        JsonObj::new()
+            .str("example", "live_streaming")
+            .u64("seed", seed)
+            .f64("sw_latency_s", sw_latency)
+            .f64("hw_latency_s", hw_latency)
+            .f64("bitrate_kbps", e.bitrate_bps() / 1e3)
+            .f64("psnr_y_db", psnr)
+            .finish()
+    );
     Ok(())
 }

@@ -6,16 +6,19 @@
 //! perform before trusting a VCU.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (set `VCU_SEED` to vary the generated content).
 
 use vcu_chip::faults::{golden_expected, golden_test, FaultyVcu};
 use vcu_codec::{decode, encode, EncoderConfig, Profile, Qp, TuningLevel};
 use vcu_media::quality::psnr_y_video;
 use vcu_media::synth::{ContentClass, SynthSpec};
 use vcu_media::Resolution;
+use vcu_telemetry::json::JsonObj;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = vcu_rng::env_seed(42);
     // 1. A 2-second 240p user-generated clip.
-    let video = SynthSpec::new(Resolution::R240, 48, ContentClass::ugc(), 42).generate();
+    let video = SynthSpec::new(Resolution::R240, 48, ContentClass::ugc(), seed).generate();
     println!(
         "source: {}x{} @ {} fps, {} frames",
         video.width(),
@@ -58,6 +61,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         encoded.stats.pixels as f64 / 1e6,
         encoded.stats.sad_pixels as f64 / 1e6,
         encoded.stats.bits_per_pixel()
+    );
+
+    println!(
+        "{}",
+        JsonObj::new()
+            .str("example", "quickstart")
+            .u64("seed", seed)
+            .u64("coded_frames", encoded.frames.len() as u64)
+            .f64("bitrate_kbps", encoded.bitrate_bps() / 1e3)
+            .f64("psnr_y_db", psnr)
+            .bool("golden_pass", ok)
+            .finish()
     );
     Ok(())
 }

@@ -9,8 +9,10 @@
 //! shapes.
 //!
 //! Run with: `cargo run --release --example upload_pipeline`
+//! (set `VCU_SEED` to vary the generated content).
 
 use vcu_cluster::{ClusterConfig, ClusterSim};
+use vcu_telemetry::json::JsonObj;
 use vcu_codec::{decode, EncoderConfig, Profile, Qp, TuningLevel};
 use vcu_media::quality::psnr_y_video;
 use vcu_media::synth::{ContentClass, SynthSpec};
@@ -20,9 +22,10 @@ use vcu_system::platform::Platform;
 use vcu_workloads::{PopularityBucket, Request, WorkloadFamily};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed = vcu_rng::env_seed(9);
     // ---- Pixel-level path: one real upload through the real codec ----
     let upload: Video =
-        SynthSpec::new(Resolution::R144, 18, ContentClass::talking_head(), 9).generate();
+        SynthSpec::new(Resolution::R144, 18, ContentClass::talking_head(), seed).generate();
     let plan = ChunkPlan::uniform(upload.frames.len(), 6);
     let chunks = split(&upload, &plan);
     println!("chunked {} frames into {} closed GOPs", upload.frames.len(), plan.len());
@@ -74,5 +77,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.total_output_mpix
     );
     assert_eq!(report.failed, 0);
+
+    println!(
+        "{}",
+        JsonObj::new()
+            .str("example", "upload_pipeline")
+            .u64("seed", seed)
+            .u64("chunks", plan.len() as u64)
+            .f64("psnr_y_db", psnr)
+            .u64("cluster_jobs_completed", report.completed)
+            .u64("cluster_jobs_failed", report.failed)
+            .f64("mean_wait_s", report.mean_wait_s)
+            .finish()
+    );
     Ok(())
 }

@@ -16,4 +16,14 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy -D warnings (all targets)"
 cargo clippy --workspace --all-targets --offline -q -- -D warnings
 
+# Smoke-run every example with its built-in fixed seed (VCU_SEED
+# unset → defaults), offline; `set -e` fails the script on any
+# non-zero exit. Each prints a one-line JSON summary at the end.
+echo "==> example smoke runs"
+for ex in quickstart upload_pipeline live_streaming cloud_gaming failure_drill observe; do
+    echo "--> example $ex"
+    env -u VCU_SEED cargo run -q -p vcu-bench --release --offline --example "$ex" \
+        | tail -n 1
+done
+
 echo "tier-1 verify: OK"

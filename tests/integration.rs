@@ -13,6 +13,7 @@ use vcu_media::Resolution;
 use vcu_system::chunking::{assemble, encode_chunks, split, ChunkPlan};
 use vcu_system::experiments::{bd, clip_rd_curve, fig8, mean, tuning_schedule};
 use vcu_system::platform::{live_latency_s, Platform};
+use vcu_telemetry::Registry;
 use vcu_workloads::{suite, PopularityBucket, Request, SuiteScale, WorkloadFamily};
 
 /// The headline claim: 20-33x perf/TCO over the CPU baseline.
@@ -206,6 +207,53 @@ fn low_latency_bitrate_mode() {
     assert!(err < 0.5, "one-pass rate error {err:.2}");
     let d = decode(&e.bytes).expect("decode");
     assert_eq!(d.video.frames.len(), 24);
+}
+
+/// The report and the telemetry counters are two views of one tally:
+/// `ClusterReport` fields are derived from the same single-site
+/// bookkeeping that feeds the registry, so they can never disagree.
+#[test]
+fn report_agrees_with_telemetry_counters() {
+    let platform = Platform::default();
+    let reqs: Vec<Request> = (0..8)
+        .map(|i| Request {
+            arrival_s: i as f64 * 1.5,
+            family: WorkloadFamily::Upload,
+            resolution: Resolution::R1080,
+            fps: 30.0,
+            duration_s: 20.0,
+            popularity: PopularityBucket::Middle,
+        })
+        .collect();
+    let reg = Registry::new();
+    let cfg = ClusterConfig {
+        vcus: 4,
+        detection_rate: 0.7,
+        seed: 11,
+        ..ClusterConfig::default()
+    };
+    let faults = vec![FaultInjection {
+        time_s: 3.0,
+        worker: 2,
+        kind: FaultKind::SilentCorruption,
+    }];
+    let report = ClusterSim::new(cfg, platform.jobs_for_all(&reqs), faults)
+        .with_telemetry(reg.clone())
+        .run();
+
+    assert!(report.completed > 0);
+    assert_eq!(reg.counter("cluster.jobs.completed"), report.completed);
+    assert_eq!(reg.counter("cluster.jobs.failed"), report.failed);
+    assert_eq!(reg.counter("cluster.retries"), report.retries);
+    assert_eq!(reg.counter("cluster.sw_decode"), report.sw_decoded_jobs);
+    assert_eq!(reg.counter("cluster.corruption.caught"), report.caught_corruptions);
+    assert_eq!(reg.counter("cluster.corruption.escaped"), report.escaped_corruptions);
+    // One wait observation per attempt start, so the histogram count
+    // must line up with the per-worker attempt tallies.
+    let attempts: u64 = report.attempts_per_worker.iter().sum();
+    assert_eq!(reg.counter("cluster.attempts"), attempts);
+    let wait = reg.histogram("cluster.wait_s").expect("waits observed");
+    assert_eq!(wait.count, attempts);
 }
 
 /// Black-holing + golden screening at integration scale.

@@ -110,6 +110,46 @@ impl Harness {
         self.records.last().expect("just pushed")
     }
 
+    /// Times `reps` single-shot runs of `f` — no calibration, one
+    /// iteration per repetition. For macro-benchmarks (whole simulator
+    /// runs) where one execution already takes long enough to time and
+    /// calibrating would multiply the runtime.
+    pub fn bench_reps<R>(
+        &mut self,
+        name: &str,
+        elements: Option<u64>,
+        reps: usize,
+        mut f: impl FnMut() -> R,
+    ) -> &Record {
+        let reps = reps.max(1);
+        let mut per_iter_ns: Vec<f64> = (0..reps)
+            .map(|_| time_iters(1, &mut f).as_nanos() as f64)
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let record = Record {
+            name: name.to_string(),
+            iters: 1,
+            reps,
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            min_ns: per_iter_ns[0],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            elements,
+        };
+        let throughput = record
+            .elems_per_s()
+            .map(|t| format!("  ({:.3} Melem/s)", t / 1e6))
+            .unwrap_or_default();
+        println!(
+            "{:<40} median {:>12}  min {:>12}{}",
+            record.name,
+            fmt_ns(record.median_ns),
+            fmt_ns(record.min_ns),
+            throughput
+        );
+        self.records.push(record);
+        self.records.last().expect("just pushed")
+    }
+
     /// Writes all records as JSON to `path` (creating parent dirs) and
     /// prints where they went. Hand-rolled serialization — the
     /// workspace is dependency-free by design.

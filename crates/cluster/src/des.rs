@@ -58,8 +58,15 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue at time zero with heap space for `capacity`
+    /// events, so warehouse-scale runs (hundreds of thousands of
+    /// pre-scheduled arrivals) skip the doubling reallocations.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             next_seq: 0,
             now: 0.0,
         }

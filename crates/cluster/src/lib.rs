@@ -17,7 +17,7 @@ pub mod sim;
 pub mod tco;
 
 pub use pools::{PoolId, PoolManager, UseCase};
-pub use scheduler::{Scheduler, SchedulerKind};
+pub use scheduler::{PlacementMode, Scheduler, SchedulerKind};
 pub use sim::{
     ClusterConfig, ClusterReport, ClusterSim, FaultInjection, FaultKind, JobSpec, Priority,
     Sample,

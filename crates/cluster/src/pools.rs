@@ -8,7 +8,7 @@
 //! cluster-wide VCU utilization. Another part of the scheduler sizes
 //! the workers based on workload mix demand."
 
-use crate::sim::Priority;
+use crate::sim::{Priority, Sample};
 use std::collections::BTreeMap;
 
 /// Use case served by a pool.
@@ -81,6 +81,29 @@ impl PoolManager {
         assert!(demand >= 0.0 && demand.is_finite(), "invalid demand");
         assert!(self.assignment.contains_key(&pool), "unknown pool");
         self.demand.insert(pool, demand);
+    }
+
+    /// Updates the demand estimate of every pool in a priority class.
+    /// Pools within a class share its queue depth signal; unlike
+    /// [`PoolManager::report_demand`] this is a no-op (not a panic) for
+    /// classes with no pool, so it can be fed straight from cluster
+    /// samples.
+    pub fn report_class_demand(&mut self, priority: Priority, demand: f64) {
+        assert!(demand >= 0.0 && demand.is_finite(), "invalid demand");
+        for (&p, d) in self.demand.iter_mut() {
+            if p.priority == priority {
+                *d = demand;
+            }
+        }
+    }
+
+    /// Feeds one cluster [`Sample`]'s per-class queue depths into the
+    /// demand estimates (§3.3.3: "sizes the workers based on workload
+    /// mix demand"). Call [`PoolManager::rebalance`] afterwards.
+    pub fn report_sample(&mut self, s: &Sample) {
+        for p in Priority::ALL {
+            self.report_class_demand(p, s.queued_per_pool[p.index()] as f64);
+        }
     }
 
     /// Current worker count of a pool.
@@ -236,6 +259,45 @@ mod tests {
         assert_eq!(m.rebalance(), 0);
         let after: Vec<usize> = ps.iter().map(|&p| m.workers_of(p)).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn sample_queue_depths_drive_rebalance() {
+        // The cluster sampler's per-class queue depths are the demand
+        // signal: a batch backlog pulls workers toward the batch pool
+        // without touching per-pool bookkeeping by hand.
+        let ps = pools();
+        let mut m = PoolManager::new(12, &ps);
+        let s = Sample {
+            time_s: 60.0,
+            encode_util: 0.5,
+            decode_util: 0.5,
+            mpix_s_per_vcu: 1.0,
+            queued: 21,
+            queued_per_pool: [1, 2, 18],
+        };
+        m.report_sample(&s);
+        let moved = m.rebalance();
+        assert!(moved > 0);
+        assert!(
+            m.workers_of(ps[2]) > m.workers_of(ps[0]) + m.workers_of(ps[1]),
+            "batch backlog dominates: {:?}",
+            ps.iter().map(|&p| m.workers_of(p)).collect::<Vec<_>>()
+        );
+        assert_eq!(ps.iter().map(|&p| m.workers_of(p)).sum::<usize>(), 12);
+        // Unrepresented classes are a no-op, not a panic.
+        let mut lone = PoolManager::new(
+            4,
+            &[PoolId {
+                use_case: UseCase::Live,
+                priority: Priority::Critical,
+            }],
+        );
+        lone.report_class_demand(Priority::Batch, 7.0);
+        assert_eq!(lone.workers_of(PoolId {
+            use_case: UseCase::Live,
+            priority: Priority::Critical,
+        }), 4);
     }
 
     #[test]

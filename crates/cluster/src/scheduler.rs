@@ -8,6 +8,26 @@
 //! paper contrasts this with the prior "uniform CPU cost model (fixed
 //! CPU-seconds/seconds per graph step)" — provided here as
 //! [`SchedulerKind::SingleSlot`] for the ablation experiment.
+//!
+//! # The availability index
+//!
+//! The paper's scheduler serves "a sharded, in-memory availability
+//! cache of all workers" at warehouse scale. A naive first-fit picker
+//! scans workers linearly — O(n) per placement, quadratic collapse at
+//! the 10,000-VCU fleets the simulator targets. [`Scheduler`] instead
+//! maintains a segment tree over the worker array whose internal nodes
+//! hold the *component-wise maximum* of remaining capacity below them
+//! (plus a free-slot max for the single-slot ablation and an
+//! any-accepting bit). `place_from` descends the tree left-to-right:
+//! a subtree whose max cannot hold the demand is pruned wholesale, so
+//! the first fitting worker — in exactly linear first-fit order — is
+//! found in O(log n) on correlated capacities (worst case O(n) when
+//! per-dimension maxima come from different workers, which churny real
+//! loads rarely produce). The original scan is kept as
+//! [`PlacementMode::LinearScan`], the property-tested oracle: both
+//! modes must pick identical workers on identical request streams,
+//! because first-fit order is observable behaviour (black-holing and
+//! Figure 6 both depend on it).
 
 use vcu_chip::ResourceDemand;
 
@@ -25,15 +45,121 @@ pub enum SchedulerKind {
     },
 }
 
+/// How [`Scheduler::place_from`] searches the availability cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementMode {
+    /// O(log n) segment-tree availability index (the production path).
+    #[default]
+    Indexed,
+    /// The original O(n) linear scan, kept as the test/bench oracle.
+    LinearScan,
+}
+
 /// One worker's entry in the availability cache.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerAvailability {
-    /// Remaining capacity across all dimensions.
+    /// Remaining capacity across all dimensions: `capacity - used`,
+    /// floored at zero per dimension (an oversubscribed single-slot
+    /// worker has nothing left to give, not negative capacity).
     pub available: ResourceDemand,
+    /// Exact sum of currently-placed demands. Under
+    /// [`SchedulerKind::SingleSlot`] this may exceed the worker's
+    /// capacity — the uniform cost model oversubscribes real resources
+    /// — and keeping the exact figure (rather than saturating it away)
+    /// is what keeps utilization honest and makes release symmetric.
+    pub used: ResourceDemand,
     /// Jobs currently placed.
     pub jobs: u32,
     /// Whether the worker accepts new work (healthy + attached).
     pub accepting: bool,
+}
+
+/// One segment-tree node: the component-wise max of remaining capacity
+/// over all *accepting* workers in its subtree, the max free slot count
+/// (single-slot ablation), and whether any worker below accepts work.
+#[derive(Debug, Clone, Copy)]
+struct IndexNode {
+    avail: ResourceDemand,
+    free_slots: u32,
+    accepting: bool,
+}
+
+impl IndexNode {
+    const EMPTY: IndexNode = IndexNode {
+        avail: ResourceDemand::ZERO,
+        free_slots: 0,
+        accepting: false,
+    };
+
+    fn merge(a: IndexNode, b: IndexNode) -> IndexNode {
+        IndexNode {
+            avail: a.avail.component_max(b.avail),
+            free_slots: a.free_slots.max(b.free_slots),
+            accepting: a.accepting || b.accepting,
+        }
+    }
+}
+
+/// Segment tree over the worker array answering "first worker in
+/// `[lo, hi)` whose availability satisfies a monotone predicate".
+#[derive(Debug)]
+struct AvailabilityIndex {
+    /// Leaf count rounded up to a power of two (tree arithmetic).
+    size: usize,
+    /// `2 * size` nodes, leaves at `size..size + n`; padding leaves
+    /// stay `EMPTY` and are never returned (queries clamp to `n`).
+    tree: Vec<IndexNode>,
+}
+
+impl AvailabilityIndex {
+    fn new(n: usize) -> Self {
+        let size = n.next_power_of_two().max(1);
+        AvailabilityIndex {
+            size,
+            tree: vec![IndexNode::EMPTY; 2 * size],
+        }
+    }
+
+    /// Replaces worker `w`'s leaf and recomputes its ancestors.
+    fn set(&mut self, w: usize, leaf: IndexNode) {
+        let mut i = self.size + w;
+        self.tree[i] = leaf;
+        while i > 1 {
+            i /= 2;
+            self.tree[i] = IndexNode::merge(self.tree[2 * i], self.tree[2 * i + 1]);
+        }
+    }
+
+    /// First worker index in `[lo, hi)` whose leaf satisfies `pred`.
+    /// `pred` must be monotone under [`IndexNode::merge`]: if it holds
+    /// for any leaf it holds for every ancestor aggregate, so a subtree
+    /// whose aggregate fails can be pruned without visiting leaves.
+    fn find_first(&self, lo: usize, hi: usize, pred: &impl Fn(&IndexNode) -> bool) -> Option<usize> {
+        if lo >= hi {
+            return None;
+        }
+        self.descend(1, 0, self.size, lo, hi, pred)
+    }
+
+    fn descend(
+        &self,
+        node: usize,
+        node_lo: usize,
+        node_hi: usize,
+        lo: usize,
+        hi: usize,
+        pred: &impl Fn(&IndexNode) -> bool,
+    ) -> Option<usize> {
+        if node_hi <= lo || hi <= node_lo || !pred(&self.tree[node]) {
+            return None;
+        }
+        if node_hi - node_lo == 1 {
+            return Some(node_lo);
+        }
+        let mid = (node_lo + node_hi) / 2;
+        self.descend(2 * node, node_lo, mid, lo, hi, pred)
+            .or_else(|| self.descend(2 * node + 1, mid, node_hi, lo, hi, pred))
+    }
 }
 
 /// The sharded availability cache + worker picker.
@@ -45,8 +171,16 @@ pub struct WorkerAvailability {
 #[derive(Debug)]
 pub struct Scheduler {
     kind: SchedulerKind,
+    placement: PlacementMode,
     shards: usize,
     workers: Vec<WorkerAvailability>,
+    index: AvailabilityIndex,
+    capacity: ResourceDemand,
+    /// Cluster-wide placed encode millicores (exact, including any
+    /// single-slot oversubscription) — O(1) utilization queries.
+    used_encode: u64,
+    /// Cluster-wide placed decode millicores.
+    used_decode: u64,
     /// Statistics: placements attempted/succeeded.
     pub placements: u64,
     /// Requests that found no worker.
@@ -55,27 +189,55 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Creates a scheduler over `n_workers` workers, each with the
-    /// standard VCU worker capacity, in `shards` shards.
+    /// standard VCU worker capacity, in `shards` shards, using the
+    /// indexed placement path.
     pub fn new(kind: SchedulerKind, n_workers: usize, shards: usize) -> Self {
+        Self::with_placement(kind, n_workers, shards, PlacementMode::default())
+    }
+
+    /// Like [`Scheduler::new`] with an explicit placement mode (the
+    /// linear-scan oracle exists for differential tests and benches).
+    pub fn with_placement(
+        kind: SchedulerKind,
+        n_workers: usize,
+        shards: usize,
+        placement: PlacementMode,
+    ) -> Self {
         assert!(shards > 0, "need at least one shard");
-        Scheduler {
+        let capacity = ResourceDemand::vcu_capacity();
+        let mut s = Scheduler {
             kind,
+            placement,
             shards,
             workers: (0..n_workers)
                 .map(|_| WorkerAvailability {
-                    available: ResourceDemand::vcu_capacity(),
+                    available: capacity,
+                    used: ResourceDemand::ZERO,
                     jobs: 0,
                     accepting: true,
                 })
                 .collect(),
+            index: AvailabilityIndex::new(n_workers),
+            capacity,
+            used_encode: 0,
+            used_decode: 0,
             placements: 0,
             rejections: 0,
+        };
+        for w in 0..n_workers {
+            s.sync_index(w);
         }
+        s
     }
 
     /// Number of workers.
     pub fn n_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The placement mode this scheduler searches with.
+    pub fn placement_mode(&self) -> PlacementMode {
+        self.placement
     }
 
     /// Read a worker's availability.
@@ -87,6 +249,40 @@ impl Scheduler {
     /// pool reallocation).
     pub fn set_accepting(&mut self, w: usize, accepting: bool) {
         self.workers[w].accepting = accepting;
+        self.sync_index(w);
+    }
+
+    /// Worker `w`'s leaf in the availability index.
+    fn leaf_of(&self, w: usize) -> IndexNode {
+        let wk = &self.workers[w];
+        if !wk.accepting {
+            return IndexNode::EMPTY;
+        }
+        IndexNode {
+            avail: wk.available,
+            free_slots: match self.kind {
+                SchedulerKind::SingleSlot { slots } => slots.saturating_sub(wk.jobs),
+                // Unused by the multi-dim predicate; any nonzero value.
+                SchedulerKind::MultiDim => 1,
+            },
+            accepting: true,
+        }
+    }
+
+    fn sync_index(&mut self, w: usize) {
+        let leaf = self.leaf_of(w);
+        self.index.set(w, leaf);
+    }
+
+    /// Whether worker `w` can take `demand` under this scheduler's
+    /// policy (the predicate both placement modes search with).
+    fn can_place(&self, w: usize, demand: ResourceDemand) -> bool {
+        let wk = &self.workers[w];
+        wk.accepting
+            && match self.kind {
+                SchedulerKind::MultiDim => demand.fits_in(wk.available),
+                SchedulerKind::SingleSlot { slots } => wk.jobs < slots,
+            }
     }
 
     /// Places a request, returning the chosen worker index. First-fit
@@ -116,87 +312,106 @@ impl Scheduler {
             self.rejections += 1;
             return None;
         }
-        for off in 0..window.min(n) {
-            let w = (start + off) % n;
-            if self.try_place_at(w, demand) {
+        let found = match self.placement {
+            PlacementMode::LinearScan => self.scan_linear(demand, start, window),
+            PlacementMode::Indexed => self.scan_indexed(demand, start, window),
+        };
+        match found {
+            Some(w) => {
+                debug_assert!(self.can_place(w, demand), "index returned infeasible worker {w}");
+                self.commit_place(w, demand);
                 self.placements += 1;
-                return Some(w);
+                Some(w)
             }
-        }
-        self.rejections += 1;
-        None
-    }
-
-    fn try_place_at(&mut self, w: usize, demand: ResourceDemand) -> bool {
-        let worker = &mut self.workers[w];
-        if !worker.accepting {
-            return false;
-        }
-        match self.kind {
-            SchedulerKind::MultiDim => {
-                if demand.fits_in(worker.available) {
-                    worker.available = worker.available.minus(demand);
-                    worker.jobs += 1;
-                    true
-                } else {
-                    false
-                }
-            }
-            SchedulerKind::SingleSlot { slots } => {
-                if worker.jobs < slots {
-                    // The legacy model does not track dimensions; it
-                    // still consumes them physically (so utilization
-                    // accounting stays honest), but placement ignores
-                    // overflow — mirroring how a uniform cost model
-                    // both strands and oversubscribes real resources.
-                    worker.available = worker.available.minus(demand);
-                    worker.jobs += 1;
-                    true
-                } else {
-                    false
-                }
+            None => {
+                self.rejections += 1;
+                None
             }
         }
     }
 
-    /// Releases a previously placed request.
+    fn scan_linear(&self, demand: ResourceDemand, start: usize, window: usize) -> Option<usize> {
+        let n = self.workers.len();
+        (0..window.min(n))
+            .map(|off| (start + off) % n)
+            .find(|&w| self.can_place(w, demand))
+    }
+
+    fn scan_indexed(&self, demand: ResourceDemand, start: usize, window: usize) -> Option<usize> {
+        let n = self.workers.len();
+        let win = window.min(n);
+        let lo = start % n;
+        // The wrapping window [lo, lo+win) splits into at most two
+        // non-wrapping index queries.
+        let query = |a: usize, b: usize| -> Option<usize> {
+            match self.kind {
+                SchedulerKind::MultiDim => self.index.find_first(a, b.min(n), &|nd: &IndexNode| {
+                    nd.accepting && demand.fits_in(nd.avail)
+                }),
+                SchedulerKind::SingleSlot { .. } => self
+                    .index
+                    .find_first(a, b.min(n), &|nd: &IndexNode| nd.accepting && nd.free_slots > 0),
+            }
+        };
+        if lo + win <= n {
+            query(lo, lo + win)
+        } else {
+            query(lo, n).or_else(|| query(0, lo + win - n))
+        }
+    }
+
+    /// Books `demand` onto worker `w` (the caller has established the
+    /// placement is allowed under the current policy). Single-slot
+    /// placements still consume dimensions physically — so utilization
+    /// accounting stays honest — even where the sum oversubscribes the
+    /// worker, mirroring how a uniform cost model both strands and
+    /// oversubscribes real resources.
+    fn commit_place(&mut self, w: usize, demand: ResourceDemand) {
+        let capacity = self.capacity;
+        let wk = &mut self.workers[w];
+        wk.used = wk.used.plus(demand);
+        wk.available = capacity.minus(wk.used);
+        wk.jobs += 1;
+        self.used_encode += demand.milliencode as u64;
+        self.used_decode += demand.millidecode as u64;
+        self.sync_index(w);
+    }
+
+    /// Releases a previously placed request. Because `used` tracks the
+    /// exact placed sum (not a saturated remainder), releasing one of
+    /// two oversubscribing jobs restores exactly that job's demand —
+    /// capacity can never be double-restored.
     pub fn release(&mut self, w: usize, demand: ResourceDemand) {
-        let worker = &mut self.workers[w];
-        worker.available = worker.available.plus(demand);
-        worker.jobs = worker.jobs.saturating_sub(1);
-        // Clamp to capacity in case of asymmetric release.
-        let cap = ResourceDemand::vcu_capacity();
-        if !worker.available.fits_in(cap) {
-            worker.available = ResourceDemand {
-                millidecode: worker.available.millidecode.min(cap.millidecode),
-                milliencode: worker.available.milliencode.min(cap.milliencode),
-                dram_mib: worker.available.dram_mib.min(cap.dram_mib),
-                host_mcpu: worker.available.host_mcpu.min(cap.host_mcpu),
-            };
-        }
+        let capacity = self.capacity;
+        let wk = &mut self.workers[w];
+        wk.used = wk.used.minus(demand);
+        wk.available = capacity.minus(wk.used);
+        wk.jobs = wk.jobs.saturating_sub(1);
+        self.used_encode = self.used_encode.saturating_sub(demand.milliencode as u64);
+        self.used_decode = self.used_decode.saturating_sub(demand.millidecode as u64);
+        self.sync_index(w);
     }
 
     /// Fraction of total encode millicores currently in use (the
-    /// cluster-wide encoder utilization the paper maximizes).
+    /// cluster-wide encoder utilization the paper maximizes). O(1):
+    /// maintained incrementally on place/release. May exceed 1.0 when
+    /// the single-slot ablation oversubscribes workers — that excess
+    /// *is* the ablation's finding, so it is reported, not clamped.
     pub fn encode_utilization(&self) -> f64 {
-        let cap = ResourceDemand::vcu_capacity().milliencode as f64;
-        let used: f64 = self
-            .workers
-            .iter()
-            .map(|w| cap - w.available.milliencode as f64)
-            .sum();
-        used / (cap * self.workers.len() as f64)
+        let denom = self.capacity.milliencode as f64 * self.workers.len() as f64;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.used_encode as f64 / denom
     }
 
-    /// Fraction of total decode millicores in use.
+    /// Fraction of total decode millicores in use. O(1).
     pub fn decode_utilization(&self) -> f64 {
-        let cap = ResourceDemand::vcu_capacity().millidecode as f64;
-        let used: f64 = self
-            .workers
-            .iter()
-            .map(|w| cap - w.available.millidecode as f64)
-            .sum();
-        used / (cap * self.workers.len() as f64)
+        let denom = self.capacity.millidecode as f64 * self.workers.len() as f64;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.used_decode as f64 / denom
     }
 
     /// Workers that are fully idle (candidates for pool reallocation;
@@ -269,6 +484,36 @@ mod tests {
     }
 
     #[test]
+    fn single_slot_oversubscription_accounting() {
+        // Two jobs whose sum exceeds capacity on one worker: the
+        // legacy single-slot model happily oversubscribes, and the
+        // books must say so — not silently lose the overflow on place
+        // and then double-restore it on release.
+        let mut s = Scheduler::new(SchedulerKind::SingleSlot { slots: 2 }, 1, 1);
+        let d = demand(2000, 8000); // 2× exceeds both 3000 decode and 10000 encode
+        assert_eq!(s.place(d, 0), Some(0));
+        assert_eq!(s.place(d, 0), Some(0));
+        // 16000 encode millicores placed on a 10000 worker: 1.6×.
+        assert!(
+            s.encode_utilization() > 1.0,
+            "oversubscription must be visible: {}",
+            s.encode_utilization()
+        );
+        s.release(0, d);
+        // One 8000-encode / 2000-decode job remains.
+        assert!(
+            (s.encode_utilization() - 0.8).abs() < 1e-9,
+            "encode util after release: {}",
+            s.encode_utilization()
+        );
+        assert_eq!(s.worker(0).available.milliencode, 2000);
+        assert_eq!(s.worker(0).available.millidecode, 1000);
+        s.release(0, d);
+        assert_eq!(s.worker(0).available, ResourceDemand::vcu_capacity());
+        assert_eq!(s.encode_utilization(), 0.0);
+    }
+
+    #[test]
     fn non_accepting_workers_skipped() {
         let mut s = Scheduler::new(SchedulerKind::MultiDim, 2, 1);
         s.set_accepting(0, false);
@@ -298,5 +543,80 @@ mod tests {
         // Shard hint 1 starts scanning at worker 2.
         assert_eq!(s.place(demand(100, 100), 1), Some(2));
         assert_eq!(s.place(demand(100, 100), 0), Some(0));
+    }
+
+    /// Drives an indexed and a linear-scan scheduler through the same
+    /// deterministic request/release/churn script and asserts they pick
+    /// identical workers and end in identical states.
+    fn assert_modes_agree(kind: SchedulerKind, n: usize) {
+        let mut a = Scheduler::with_placement(kind, n, 2, PlacementMode::Indexed);
+        let mut b = Scheduler::with_placement(kind, n, 2, PlacementMode::LinearScan);
+        let mut placed: Vec<(usize, ResourceDemand)> = Vec::new();
+        for i in 0..400usize {
+            let d = demand(
+                (i as u32 * 613) % 1500,
+                (i as u32 * 217) % 4000,
+            );
+            let start = (i * 7) % (n + 3); // exercise start >= n wrapping
+            let window = 1 + (i * 11) % n.max(1);
+            let wa = a.place_from(d, start, window);
+            let wb = b.place_from(d, start, window);
+            assert_eq!(wa, wb, "op {i}: indexed {wa:?} vs linear {wb:?}");
+            if let Some(w) = wa {
+                placed.push((w, d));
+            }
+            if i % 3 == 0 {
+                if let Some((w, d)) = placed.pop() {
+                    a.release(w, d);
+                    b.release(w, d);
+                }
+            }
+            if i % 17 == 0 && n > 0 {
+                let w = (i / 17) % n;
+                let acc = (i / 17) % 3 != 0;
+                a.set_accepting(w, acc);
+                b.set_accepting(w, acc);
+            }
+        }
+        for w in 0..n {
+            assert_eq!(a.worker(w), b.worker(w), "worker {w} state diverged");
+        }
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(a.rejections, b.rejections);
+    }
+
+    #[test]
+    fn indexed_matches_linear_scan_multidim() {
+        for n in [1, 2, 3, 7, 16, 33] {
+            assert_modes_agree(SchedulerKind::MultiDim, n);
+        }
+    }
+
+    #[test]
+    fn indexed_matches_linear_scan_single_slot() {
+        for n in [1, 2, 5, 32] {
+            assert_modes_agree(SchedulerKind::SingleSlot { slots: 3 }, n);
+        }
+    }
+
+    #[test]
+    fn zero_demand_skips_non_accepting_workers() {
+        // A zero demand "fits" even an empty availability node, so the
+        // index must still refuse non-accepting workers.
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 3, 1);
+        s.set_accepting(0, false);
+        s.set_accepting(1, false);
+        assert_eq!(s.place(ResourceDemand::ZERO, 0), Some(2));
+    }
+
+    #[test]
+    fn windowed_wrapping_search() {
+        let mut s = Scheduler::new(SchedulerKind::MultiDim, 8, 1);
+        // Fill workers 6 and 7; a window of 3 starting at 6 wraps to 0.
+        assert!(s.place_from(demand(3000, 10000), 6, 1).is_some());
+        assert!(s.place_from(demand(3000, 10000), 7, 1).is_some());
+        assert_eq!(s.place_from(demand(100, 100), 6, 3), Some(0));
+        // A window that excludes every fitting worker rejects.
+        assert_eq!(s.place_from(demand(3000, 10000), 6, 2), None);
     }
 }

@@ -15,8 +15,8 @@
 //!   many corrupted chunks escape the integrity checks.
 
 use crate::des::EventQueue;
-use crate::scheduler::{Scheduler, SchedulerKind};
-use std::collections::{BTreeSet, HashMap};
+use crate::scheduler::{PlacementMode, Scheduler, SchedulerKind};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use vcu_chip::faults::{golden_expected, golden_test, FaultyVcu, HealthState};
 use vcu_rng::Rng;
 use vcu_chip::{ResourceDemand, TranscodeJob, VcuModel};
@@ -43,7 +43,9 @@ impl Priority {
         }
     }
 
-    fn index(self) -> usize {
+    /// Stable index of this class in per-pool arrays
+    /// ([`Sample::queued_per_pool`], the internal priority queues).
+    pub fn index(self) -> usize {
         match self {
             Priority::Critical => 0,
             Priority::Normal => 1,
@@ -51,7 +53,8 @@ impl Priority {
         }
     }
 
-    const ALL: [Priority; 3] = [Priority::Critical, Priority::Normal, Priority::Batch];
+    /// All classes, in scheduling (and [`Priority::index`]) order.
+    pub const ALL: [Priority; 3] = [Priority::Critical, Priority::Normal, Priority::Batch];
 
     fn running_series(self) -> &'static str {
         match self {
@@ -92,6 +95,9 @@ pub struct ClusterConfig {
     pub vcus: usize,
     /// Scheduling policy.
     pub scheduler: SchedulerKind,
+    /// Placement search path: the O(log n) availability index, or the
+    /// O(n) linear-scan oracle it is differential-tested against.
+    pub placement: PlacementMode,
     /// Availability-cache shards.
     pub shards: usize,
     /// §4.4 black-holing mitigation: on a detected hardware failure the
@@ -124,6 +130,7 @@ impl Default for ClusterConfig {
         ClusterConfig {
             vcus: 20,
             scheduler: SchedulerKind::MultiDim,
+            placement: PlacementMode::Indexed,
             shards: 1,
             blackhole_mitigation: true,
             integrity_checks: true,
@@ -183,7 +190,9 @@ struct JobState {
     touched_vcus: Vec<usize>,
     /// Completion time.
     finished_at: Option<f64>,
-    /// Whether software decode was used on the successful attempt.
+    /// Whether the *most recent* attempt used software decode —
+    /// rewritten at every placement, so at resolution it reads as the
+    /// final attempt's decode mode.
     sw_decode: bool,
     /// Cached hardware resource demand (deterministic per job).
     demand: Option<ResourceDemand>,
@@ -202,6 +211,10 @@ pub struct Sample {
     pub mpix_s_per_vcu: f64,
     /// Jobs waiting in queue.
     pub queued: usize,
+    /// Jobs waiting per priority class, indexed by
+    /// [`Priority::index`] — read straight off the per-class queues in
+    /// O(1), so sampling cost is independent of backlog depth.
+    pub queued_per_pool: [usize; 3],
 }
 
 /// Results of a simulation run.
@@ -213,6 +226,10 @@ pub struct ClusterReport {
     pub completed: u64,
     /// Permanently failed jobs.
     pub failed: u64,
+    /// Jobs failed because no usable worker remained to ever run them
+    /// (a subset of `failed`; see the stranded-jobs policy in
+    /// DESIGN.md).
+    pub stranded: u64,
     /// Total retries performed.
     pub retries: u64,
     /// Corrupted chunks that escaped detection.
@@ -227,7 +244,10 @@ pub struct ClusterReport {
     /// Per-worker count of job attempts processed (black-holing shows
     /// up as a skewed distribution).
     pub attempts_per_worker: Vec<u64>,
-    /// Mean queueing delay (seconds) of completed jobs.
+    /// Mean queueing delay (seconds) from arrival to *first*
+    /// placement, counted exactly once per placed job — retries do not
+    /// re-enter the mean, and jobs that were never placed (stranded)
+    /// are excluded.
     pub mean_wait_s: f64,
     /// Total output Mpix completed.
     pub total_output_mpix: f64,
@@ -256,8 +276,10 @@ pub struct ClusterSim {
     /// Worker quarantine (golden-test failed / awaiting repair).
     quarantined: Vec<bool>,
     jobs: Vec<JobState>,
-    /// Pending job indices, kept sorted by (priority, arrival order).
-    pending: Vec<usize>,
+    /// Pending job indices, one FIFO ring per priority class (indexed
+    /// by [`Priority::index`]): O(1) enqueue and O(1) per-class depth,
+    /// where the old single sorted `Vec` paid O(n) per insert.
+    pending: [VecDeque<usize>; 3],
     faults: Vec<FaultInjection>,
     rng: Rng,
     golden: u64,
@@ -269,6 +291,7 @@ pub struct ClusterSim {
     total_output_mpix: f64,
     completed: u64,
     failed: u64,
+    stranded: u64,
     escaped: u64,
     retries: u64,
     caught: u64,
@@ -288,11 +311,14 @@ pub struct ClusterSim {
 impl ClusterSim {
     /// Builds a simulator over `jobs` and `faults`.
     pub fn new(cfg: ClusterConfig, jobs: Vec<JobSpec>, faults: Vec<FaultInjection>) -> Self {
-        let scheduler = Scheduler::new(cfg.scheduler, cfg.vcus, cfg.shards);
+        let scheduler =
+            Scheduler::with_placement(cfg.scheduler, cfg.vcus, cfg.shards, cfg.placement);
         let vcus = (0..cfg.vcus)
             .map(|i| FaultyVcu::new(cfg.seed ^ (i as u64) << 8))
             .collect();
-        let mut queue = EventQueue::new();
+        // Every arrival and fault is scheduled up front; sizing the
+        // heap once avoids rehash-style growth at 500k+ jobs.
+        let mut queue = EventQueue::with_capacity(jobs.len() + faults.len() + 1);
         for (i, j) in jobs.iter().enumerate() {
             queue.schedule(j.arrival_s, Event::Arrival(i));
         }
@@ -329,7 +355,7 @@ impl ClusterSim {
                     demand: None,
                 })
                 .collect(),
-            pending: Vec::new(),
+            pending: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             faults,
             rng: Rng::seed_from_u64(seed),
             golden: golden_expected(),
@@ -338,6 +364,7 @@ impl ClusterSim {
             total_output_mpix: 0.0,
             completed: 0,
             failed: 0,
+            stranded: 0,
             escaped: 0,
             retries: 0,
             caught: 0,
@@ -419,20 +446,38 @@ impl ClusterSim {
                 }
                 Event::Sample => {
                     let dt = self.cfg.sample_period_s;
+                    let queued_per_pool =
+                        [self.pending[0].len(), self.pending[1].len(), self.pending[2].len()];
                     let s = Sample {
                         time_s: now,
                         encode_util: self.scheduler.encode_utilization(),
                         decode_util: self.scheduler.decode_utilization(),
                         mpix_s_per_vcu: self.output_mpix_window / dt / self.cfg.vcus as f64,
-                        queued: self.pending.len(),
+                        queued: queued_per_pool.iter().sum(),
+                        queued_per_pool,
                     };
                     self.samples.push(s);
                     if self.telemetry.is_enabled() {
                         self.record_sample(&s);
                     }
                     self.output_mpix_window = 0.0;
+                    // Stranded-jobs guard: with jobs queued, nothing in
+                    // flight and no events left, no completion can ever
+                    // release capacity and nothing will ever call the
+                    // scheduler again — rescheduling the sampler would
+                    // livelock `run()` advancing only the clock. One
+                    // last unbounded scheduling pass (the regular path
+                    // gives up after a bounded number of head-of-line
+                    // misses), then whatever is still queued can never
+                    // run: resolve it as failed.
+                    if self.pending_len() > 0 && self.in_flight() == 0 && self.queue.is_empty() {
+                        self.try_schedule_capped(now, usize::MAX);
+                        if self.in_flight() == 0 {
+                            self.strand_pending(now);
+                        }
+                    }
                     // Keep sampling while anything remains.
-                    if !self.queue.is_empty() || !self.pending.is_empty() {
+                    if !self.queue.is_empty() || self.pending_len() > 0 {
                         self.queue.schedule_in(dt, Event::Sample);
                     }
                 }
@@ -454,6 +499,7 @@ impl ClusterSim {
             samples: self.samples,
             completed: self.completed,
             failed: self.failed,
+            stranded: self.stranded,
             retries: self.retries,
             escaped_corruptions: self.escaped,
             caught_corruptions: self.caught,
@@ -485,10 +531,6 @@ impl ClusterSim {
             t,
             self.mean_blast_radius(),
         );
-        let mut queued_per_pool = [0u64; 3];
-        for &j in &self.pending {
-            queued_per_pool[self.jobs[j].spec.priority.index()] += 1;
-        }
         for p in Priority::ALL {
             self.telemetry.series_record(
                 p.running_series(),
@@ -496,108 +538,126 @@ impl ClusterSim {
                 self.running_per_pool[p.index()] as f64,
             );
             self.telemetry
-                .series_record(p.queued_series(), t, queued_per_pool[p.index()] as f64);
+                .series_record(p.queued_series(), t, s.queued_per_pool[p.index()] as f64);
         }
     }
 
+    /// Jobs waiting across all priority classes.
+    fn pending_len(&self) -> usize {
+        self.pending.iter().map(VecDeque::len).sum()
+    }
+
+    /// Job attempts currently holding worker resources.
+    fn in_flight(&self) -> u64 {
+        self.running_per_pool.iter().sum()
+    }
+
     fn enqueue_pending(&mut self, j: usize) {
-        // Priority queue: stable insert keeping Critical first. Scan
-        // from the back so the common case (append at same priority)
-        // is O(1).
-        let p = self.jobs[j].spec.priority;
-        let pos = self
-            .pending
-            .iter()
-            .rposition(|&other| self.jobs[other].spec.priority <= p)
-            .map(|i| i + 1)
-            .unwrap_or(0);
-        self.pending.insert(pos, j);
+        // O(1): each class is its own FIFO; scheduling visits classes
+        // Critical → Normal → Batch, so cross-class order is positional
+        // and within-class order is enqueue order — exactly the old
+        // sorted-insert semantics without the O(n) `Vec::insert`.
+        self.pending[self.jobs[j].spec.priority.index()].push_back(j);
     }
 
     fn try_schedule(&mut self, now: f64) {
-        let mut i = 0;
         // Bounded head-of-line scan: once this many queued jobs fail to
         // place we stop — the cluster is saturated and later jobs are
         // no more likely to fit (keeps saturated runs near O(n)).
+        self.try_schedule_capped(now, 48);
+    }
+
+    fn try_schedule_capped(&mut self, now: f64, max_misses: usize) {
         let mut misses = 0;
-        while i < self.pending.len() && misses < 48 {
-            let j = self.pending[i];
-            let hw_demand = match self.jobs[j].demand {
-                Some(d) => d,
-                None => {
-                    let d = self.model.job_demand(&self.jobs[j].spec.job);
-                    self.jobs[j].demand = Some(d);
-                    d
+        'classes: for class in 0..self.pending.len() {
+            let mut i = 0;
+            while i < self.pending[class].len() {
+                if misses >= max_misses {
+                    break 'classes;
                 }
-            };
-            let shard = j % self.cfg.shards.max(1);
-            // Fig. 9c: when hardware decoders run hot, move decode onto
-            // the host CPU (software) so decoder pressure stops
-            // stranding encoder capacity. Software decode costs extra
-            // host mCPU.
-            let sw_demand = ResourceDemand {
-                millidecode: 0,
-                host_mcpu: hw_demand.host_mcpu + hw_demand.millidecode * 2,
-                ..hw_demand
-            };
-            let decode_hot = self.scheduler.decode_utilization() > 0.9;
-            // Consistent-hash placement (§4.4 future work): chunks of a
-            // video only consider a bounded worker subset keyed by the
-            // video id.
-            let (start, window) = if self.cfg.consistent_hash_window > 0 {
-                let vid = self.jobs[j].spec.video_id;
-                let h = vid
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .rotate_left(17)
-                    .wrapping_mul(0xBF58476D1CE4E5B9);
-                (
-                    (h % self.cfg.vcus.max(1) as u64) as usize,
-                    self.cfg.consistent_hash_window,
-                )
-            } else {
-                let n = self.cfg.vcus;
-                let shard_size = n.div_ceil(self.cfg.shards.max(1)).max(1);
-                ((shard % self.cfg.shards.max(1)) * shard_size, n)
-            };
-            let mut used_sw_decode = false;
-            let mut demand = hw_demand;
-            let mut placed = None;
-            if self.cfg.opportunistic_sw_decode && decode_hot {
-                placed = self.scheduler.place_from(sw_demand, start, window);
-                if placed.is_some() {
-                    demand = sw_demand;
-                    used_sw_decode = true;
+                let j = self.pending[class][i];
+                let hw_demand = match self.jobs[j].demand {
+                    Some(d) => d,
+                    None => {
+                        let d = self.model.job_demand(&self.jobs[j].spec.job);
+                        self.jobs[j].demand = Some(d);
+                        d
+                    }
+                };
+                let shard = j % self.cfg.shards.max(1);
+                // Fig. 9c: when hardware decoders run hot, move decode
+                // onto the host CPU (software) so decoder pressure
+                // stops stranding encoder capacity. Software decode
+                // costs extra host mCPU. The hot check is O(1): the
+                // scheduler maintains cluster-wide used millicores
+                // incrementally instead of rescanning every worker.
+                let sw_demand = ResourceDemand {
+                    millidecode: 0,
+                    host_mcpu: hw_demand.host_mcpu + hw_demand.millidecode * 2,
+                    ..hw_demand
+                };
+                let decode_hot = self.scheduler.decode_utilization() > 0.9;
+                // Consistent-hash placement (§4.4 future work): chunks
+                // of a video only consider a bounded worker subset
+                // keyed by the video id.
+                let (start, window) = if self.cfg.consistent_hash_window > 0 {
+                    let vid = self.jobs[j].spec.video_id;
+                    let h = vid
+                        .wrapping_mul(0x9E3779B97F4A7C15)
+                        .rotate_left(17)
+                        .wrapping_mul(0xBF58476D1CE4E5B9);
+                    (
+                        (h % self.cfg.vcus.max(1) as u64) as usize,
+                        self.cfg.consistent_hash_window,
+                    )
+                } else {
+                    let n = self.cfg.vcus;
+                    let shard_size = n.div_ceil(self.cfg.shards.max(1)).max(1);
+                    ((shard % self.cfg.shards.max(1)) * shard_size, n)
+                };
+                let mut used_sw_decode = false;
+                let mut demand = hw_demand;
+                let mut placed = None;
+                if self.cfg.opportunistic_sw_decode && decode_hot {
+                    placed = self.scheduler.place_from(sw_demand, start, window);
+                    if placed.is_some() {
+                        demand = sw_demand;
+                        used_sw_decode = true;
+                    }
                 }
-            }
-            if placed.is_none() {
-                placed = self.scheduler.place_from(hw_demand, start, window);
-                if placed.is_some() {
-                    demand = hw_demand;
-                    used_sw_decode = false;
+                if placed.is_none() {
+                    placed = self.scheduler.place_from(hw_demand, start, window);
+                    if placed.is_some() {
+                        demand = hw_demand;
+                        used_sw_decode = false;
+                    }
                 }
-            }
-            if placed.is_none() && self.cfg.opportunistic_sw_decode && !decode_hot {
-                placed = self.scheduler.place_from(sw_demand, start, window);
-                if placed.is_some() {
-                    demand = sw_demand;
-                    used_sw_decode = true;
+                if placed.is_none() && self.cfg.opportunistic_sw_decode && !decode_hot {
+                    placed = self.scheduler.place_from(sw_demand, start, window);
+                    if placed.is_some() {
+                        demand = sw_demand;
+                        used_sw_decode = true;
+                    }
                 }
-            }
-            match placed {
-                Some(w) if self.worker_usable(w) => {
-                    self.pending.remove(i);
-                    self.start_job(now, j, w, demand, used_sw_decode);
-                }
-                Some(w) => {
-                    // Worker exists but its VCU is quarantined/disabled;
-                    // release and stop it from accepting further work.
-                    self.scheduler.release(w, demand);
-                    self.scheduler.set_accepting(w, false);
-                    // Retry the same job in the next loop iteration.
-                }
-                None => {
-                    i += 1; // job stays queued; try next job
-                    misses += 1;
+                match placed {
+                    Some(w) if self.worker_usable(w) => {
+                        // `i` is bounded by the miss cap, so this
+                        // removal shifts at most `max_misses` entries.
+                        self.pending[class].remove(i);
+                        self.start_job(now, j, w, demand, used_sw_decode);
+                    }
+                    Some(w) => {
+                        // Worker exists but its VCU is quarantined or
+                        // disabled; release and stop it from accepting
+                        // further work. Retry the same job in the next
+                        // loop iteration.
+                        self.scheduler.release(w, demand);
+                        self.scheduler.set_accepting(w, false);
+                    }
+                    None => {
+                        i += 1; // job stays queued; try next job
+                        misses += 1;
+                    }
                 }
             }
         }
@@ -611,24 +671,31 @@ impl ClusterSim {
         let job = &mut self.jobs[j];
         job.attempts += 1;
         job.touched_vcus.push(w);
-        if sw {
-            job.sw_decode = true;
-            self.sw_decoded += 1;
-        }
+        // Per-attempt, not sticky: a retry that lands on hardware decode
+        // after a software-decode attempt must clear the flag, or
+        // `sw_decoded_jobs` (tallied at resolution from the *final*
+        // attempt's mode) over-counts.
+        job.sw_decode = sw;
         self.attempts_per_worker[w] += 1;
-        self.wait_sum += now - job.spec.arrival_s;
-        self.wait_count += 1;
+        let first_attempt = job.attempts == 1;
+        if first_attempt {
+            // Queueing delay is arrival → *first* placement, once per
+            // job; retried jobs must not re-enter the mean with
+            // ever-growing waits.
+            self.wait_sum += now - job.spec.arrival_s;
+            self.wait_count += 1;
+        }
         self.running_per_pool[job.spec.priority.index()] += 1;
         self.touched_per_video
             .entry(job.spec.video_id)
             .or_default()
             .insert(w);
+        let arrival_s = job.spec.arrival_s;
         if self.telemetry.is_enabled() {
             self.telemetry.counter_inc("cluster.attempts");
-            if sw {
-                self.telemetry.counter_inc("cluster.sw_decode");
+            if first_attempt {
+                self.telemetry.observe("cluster.wait_s", now - arrival_s);
             }
-            self.telemetry.observe("cluster.wait_s", now - job.spec.arrival_s);
         }
 
         let corrupting = self.vcus[w].state() == HealthState::SilentlyCorrupting;
@@ -650,17 +717,22 @@ impl ClusterSim {
         );
     }
 
-    /// Telemetry scope for job `j`'s attempt on worker `w`.
-    fn job_scope(&self, j: usize, w: usize) -> Scope {
-        Scope::job(j as u64)
-            .with_video(self.jobs[j].spec.video_id)
-            .with_vcu(w as u32)
+    /// Telemetry scope for job `j`, optionally pinned to the worker `w`
+    /// that ran its final attempt (stranded jobs never had one).
+    fn job_scope(&self, j: usize, w: Option<usize>) -> Scope {
+        let scope = Scope::job(j as u64).with_video(self.jobs[j].spec.video_id);
+        match w {
+            Some(w) => scope.with_vcu(w as u32),
+            None => scope,
+        }
     }
 
     /// Marks job `j` resolved (success or permanent failure). The only
-    /// place `completed`/`failed`/`escaped` tallies move, so the report
-    /// and the telemetry counters cannot disagree.
-    fn resolve_job(&mut self, now: f64, j: usize, w: usize, failed: bool, escaped: bool) {
+    /// place `completed`/`failed`/`escaped`/`sw_decoded` tallies move,
+    /// so the report and the telemetry counters cannot disagree. `w` is
+    /// the worker of the final attempt, `None` for never-placed
+    /// (stranded) jobs.
+    fn resolve_job(&mut self, now: f64, j: usize, w: Option<usize>, failed: bool, escaped: bool) {
         let job = &mut self.jobs[j];
         job.done = true;
         job.failed = failed;
@@ -675,6 +747,16 @@ impl ClusterSim {
             self.failed += 1;
         } else {
             self.completed += 1;
+            // Count software decode per *job*, from the successful
+            // (final) attempt's mode — not per attempt in `start_job`,
+            // which inflated the tally whenever a sw-decode attempt was
+            // retried.
+            if self.jobs[j].sw_decode {
+                self.sw_decoded += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.counter_inc("cluster.sw_decode");
+                }
+            }
         }
         if escaped {
             self.escaped += 1;
@@ -697,6 +779,25 @@ impl ClusterSim {
                 now,
                 attempts as f64,
             );
+        }
+    }
+
+    /// Stranded-jobs policy: every queued job is unplaceable (no usable
+    /// worker, nothing in flight, no future events), so resolve them
+    /// all as failed rather than sampling forever. See DESIGN.md.
+    fn strand_pending(&mut self, now: f64) {
+        let mut count: u64 = 0;
+        for class in 0..self.pending.len() {
+            for j in std::mem::take(&mut self.pending[class]) {
+                self.resolve_job(now, j, None, true, false);
+                count += 1;
+            }
+        }
+        self.stranded += count;
+        if count > 0 && self.telemetry.is_enabled() {
+            self.telemetry.counter_add("cluster.jobs.stranded", count);
+            self.telemetry
+                .event("cluster.jobs.stranded", Scope::none(), now, count as f64);
         }
     }
 
@@ -728,7 +829,7 @@ impl ClusterSim {
                 }
                 // Retry at cluster level.
                 if self.jobs[j].attempts > self.cfg.max_retries {
-                    self.resolve_job(now, j, w, true, false);
+                    self.resolve_job(now, j, Some(w), true, false);
                 } else {
                     self.retries += 1;
                     self.telemetry.counter_inc("cluster.retries");
@@ -738,10 +839,10 @@ impl ClusterSim {
             }
             // Undetected corruption ships (the paper admits "the system
             // will have bad video chunks escape").
-            self.resolve_job(now, j, w, false, true);
+            self.resolve_job(now, j, Some(w), false, true);
             return;
         }
-        self.resolve_job(now, j, w, false, false);
+        self.resolve_job(now, j, Some(w), false, false);
     }
 }
 
@@ -898,6 +999,44 @@ mod tests {
         let report = ClusterSim::new(cfg, upload_jobs(30, 1.0, true), faults).run();
         assert_eq!(report.completed + report.failed, 30);
         assert_eq!(report.failed, 0, "redundancy absorbs a dead VCU");
+        assert_eq!(report.stranded, 0);
+    }
+
+    #[test]
+    fn stranded_jobs_terminate_instead_of_livelocking() {
+        // Regression: the lone VCU dies before any job arrives, so no
+        // placement and no completion can ever happen. The sampler used
+        // to reschedule itself forever on the non-empty queue and
+        // `run()` never returned; the stranded-jobs policy must fail
+        // the queued work and terminate.
+        let cfg = ClusterConfig {
+            vcus: 1,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 0.0,
+            worker: 0,
+            kind: FaultKind::Dead,
+        }];
+        let mut jobs = upload_jobs(8, 1.0, false);
+        for j in &mut jobs {
+            // Strictly after the fault: same-time arrivals pop before
+            // the fault event and would be placed on the then-healthy
+            // VCU.
+            j.arrival_s += 1.0;
+        }
+        let reg = Registry::new();
+        let report = ClusterSim::new(cfg, jobs, faults)
+            .with_telemetry(reg.clone())
+            .run();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed, 8, "every queued job fails as stranded");
+        assert_eq!(report.stranded, 8);
+        assert_eq!(reg.counter("cluster.jobs.stranded"), 8);
+        assert_eq!(
+            report.mean_wait_s, 0.0,
+            "never-placed jobs contribute no queueing wait"
+        );
     }
 
     #[test]
@@ -924,6 +1063,93 @@ mod tests {
         // (Detailed per-job wait assertions live in integration tests;
         // here we check the run stays healthy under priority inserts.)
         assert!(report.mean_wait_s >= 0.0);
+    }
+
+    #[test]
+    fn retries_do_not_inflate_mean_wait() {
+        // One job arriving into an idle cluster is placed the instant
+        // it arrives: its queueing wait is exactly zero. A corrupting
+        // first-fit worker forces a retry; that retry must not record
+        // a second, later "wait" for the same job.
+        let cfg = ClusterConfig {
+            vcus: 2,
+            detection_rate: 1.0,
+            blackhole_mitigation: true,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 0.0,
+            worker: 0,
+            kind: FaultKind::SilentCorruption,
+        }];
+        let jobs = vec![JobSpec {
+            arrival_s: 1.0,
+            job: TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0),
+            priority: Priority::Normal,
+            video_id: 0,
+        }];
+        let report = ClusterSim::new(cfg, jobs, faults).run();
+        assert_eq!(report.completed, 1);
+        assert!(report.retries >= 1, "corruption must force a retry");
+        assert_eq!(
+            report.mean_wait_s, 0.0,
+            "wait is measured once, at first placement"
+        );
+    }
+
+    #[test]
+    fn sw_decoded_jobs_counts_final_attempt_mode() {
+        // `sw_decoded_jobs` is documented as "jobs whose *successful*
+        // attempt used software decode". Engineer a job whose FIRST
+        // attempt is software-decoded on a corrupting VCU and whose
+        // successful retry is hardware-decoded: it must not be counted.
+        //
+        // 24 decode-heavy background chunks (2160p in, 240p out) placed
+        // at t=0 pin hardware decode above the 90% offload threshold
+        // until t=0.8. The victim arrives at t=0.5 → software decode →
+        // first-fit onto the corrupting worker 0 → fast corrupt
+        // completion at t=1.5, detected, worker quarantined. By then
+        // the background has drained, decode is cold, and the retry
+        // runs hardware-decoded on worker 1.
+        let mut jobs: Vec<JobSpec> = (0..24)
+            .map(|i| JobSpec {
+                arrival_s: 0.0,
+                job: TranscodeJob::sot(
+                    Resolution::R2160,
+                    Resolution::R240,
+                    Profile::Vp9Sim,
+                    30.0,
+                    0.8,
+                ),
+                priority: Priority::Normal,
+                video_id: i as u64,
+            })
+            .collect();
+        jobs.push(JobSpec {
+            arrival_s: 0.5,
+            job: TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0),
+            priority: Priority::Normal,
+            video_id: 99,
+        });
+        let cfg = ClusterConfig {
+            vcus: 2,
+            opportunistic_sw_decode: true,
+            detection_rate: 1.0,
+            blackhole_mitigation: true,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 0.0,
+            worker: 0,
+            kind: FaultKind::SilentCorruption,
+        }];
+        let report = ClusterSim::new(cfg, jobs, faults).run();
+        assert_eq!(report.completed, 25);
+        assert_eq!(report.retries, 1, "victim must retry exactly once");
+        assert_eq!(
+            report.sw_decoded_jobs, 0,
+            "the successful attempt was hardware-decoded; the sw attempt must not count"
+        );
     }
 
     #[test]

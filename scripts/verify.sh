@@ -26,4 +26,11 @@ for ex in quickstart upload_pipeline live_streaming cloud_gaming failure_drill o
         | tail -n 1
 done
 
+# Smoke-run the warehouse-scale placement bench in its seconds-long
+# configuration (tiny fleets, temp-dir JSON) so the binary and its
+# indexed-vs-linear equivalence gate can't rot.
+echo "==> bench_cluster_scale smoke run"
+VCU_BENCH_SMOKE=1 cargo run -q -p vcu-bench --release --offline --bin bench_cluster_scale \
+    | tail -n 2
+
 echo "tier-1 verify: OK"

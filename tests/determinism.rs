@@ -166,6 +166,58 @@ fn attaching_telemetry_does_not_perturb_the_simulation() {
 }
 
 #[test]
+fn warehouse_scale_run_is_byte_identical() {
+    // The tentpole scale: 10,000 VCUs through the O(log n) availability
+    // index must stay exactly as deterministic as the 6-VCU runs above
+    // — and exactly as deterministic as the linear-scan oracle, since
+    // first-fit order is observable behaviour.
+    use vcu_cluster::{PlacementMode, Priority};
+    use vcu_codec::Profile as P;
+    use vcu_media::Resolution;
+
+    let jobs: Vec<JobSpec> = (0..30_000)
+        .map(|i| JobSpec {
+            arrival_s: i as f64 * 0.001,
+            job: vcu_chip::TranscodeJob::mot(Resolution::R1080, P::Vp9Sim, 30.0, 5.0),
+            priority: match i % 10 {
+                0 => Priority::Critical,
+                9 => Priority::Batch,
+                _ => Priority::Normal,
+            },
+            video_id: (i / 4) as u64,
+        })
+        .collect();
+    let run = |placement: PlacementMode| {
+        let cfg = ClusterConfig {
+            vcus: 10_000,
+            placement,
+            detection_rate: 0.6,
+            seed: 42,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 5.0,
+            worker: 17,
+            kind: FaultKind::SilentCorruption,
+        }];
+        ClusterSim::new(cfg, jobs.clone(), faults).run()
+    };
+    let a = run(PlacementMode::Indexed);
+    let b = run(PlacementMode::Indexed);
+    assert_eq!(trace(&a), trace(&b), "10k-VCU runs must be byte-identical");
+    assert_eq!(a.mean_wait_s.to_bits(), b.mean_wait_s.to_bits());
+    let c = run(PlacementMode::LinearScan);
+    assert_eq!(a.completed, c.completed);
+    assert_eq!(a.failed, c.failed);
+    assert_eq!(a.retries, c.retries);
+    assert_eq!(
+        trace(&a),
+        trace(&c),
+        "index and linear oracle must agree at warehouse scale"
+    );
+}
+
+#[test]
 fn traffic_generation_is_deterministic() {
     let a = UploadTraffic::new(3.0, 7).generate(200.0);
     let b = UploadTraffic::new(3.0, 7).generate(200.0);

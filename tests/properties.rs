@@ -3,6 +3,8 @@
 //! failing case prints the exact seed; replay it with
 //! `VCU_PROP_SEED=<seed> cargo test <name>`.
 
+use vcu_chip::ResourceDemand;
+use vcu_cluster::{PlacementMode, Scheduler, SchedulerKind};
 use vcu_codec::entropy::{
     read_int, read_uint, write_int, write_uint, AdaptiveModel, BoolDecoder, BoolEncoder,
 };
@@ -226,5 +228,118 @@ prop_cases! {
         bytes.extend_from_slice(&payload);
         bytes.extend_from_slice(&h.to_le_bytes());
         let _ = decode(&bytes); // must return, never panic
+    }
+}
+
+prop_cases! {
+    /// The O(log n) availability index and the O(n) linear scan are the
+    /// same scheduler: identical placements on identical request
+    /// streams — including wrapping windows, starts past the fleet
+    /// size, releases, and `set_accepting` churn. First-fit order is
+    /// observable behaviour (black-holing and Fig. 6 depend on it), so
+    /// nothing short of exact agreement is acceptable.
+    #[cases(96)]
+    fn placement_index_agrees_with_linear_oracle(rng) {
+        let n = rng.gen_range(1usize..80);
+        let kind = if rng.gen_bool(0.5) {
+            SchedulerKind::MultiDim
+        } else {
+            SchedulerKind::SingleSlot { slots: rng.gen_range(1u32..4) }
+        };
+        let mut idx = Scheduler::with_placement(kind, n, 1, PlacementMode::Indexed);
+        let mut lin = Scheduler::with_placement(kind, n, 1, PlacementMode::LinearScan);
+        // (worker, demand) pairs currently placed, for exact releases.
+        let mut live: Vec<(usize, ResourceDemand)> = Vec::new();
+        for _ in 0..rng.gen_range(1usize..300) {
+            match rng.gen_range(0u32..10) {
+                0..=5 => {
+                    let d = ResourceDemand {
+                        millidecode: rng.gen_range(0u32..2_000),
+                        milliencode: rng.gen_range(0u32..6_000),
+                        dram_mib: rng.gen_range(0u32..4_000),
+                        host_mcpu: rng.gen_range(0u32..3_000),
+                    };
+                    let start = rng.gen_range(0usize..3 * n);
+                    let window = rng.gen_range(0usize..2 * n + 1);
+                    let a = idx.place_from(d, start, window);
+                    let b = lin.place_from(d, start, window);
+                    assert_eq!(a, b, "placement diverged (n={n}, {kind:?})");
+                    if let Some(w) = a {
+                        live.push((w, d));
+                    }
+                }
+                6..=7 => {
+                    if !live.is_empty() {
+                        let (w, d) = live.swap_remove(rng.gen_range(0usize..live.len()));
+                        idx.release(w, d);
+                        lin.release(w, d);
+                    }
+                }
+                _ => {
+                    let w = rng.gen_range(0usize..n);
+                    let on = rng.gen_bool(0.5);
+                    idx.set_accepting(w, on);
+                    lin.set_accepting(w, on);
+                }
+            }
+        }
+        assert_eq!(idx.placements, lin.placements);
+        assert_eq!(idx.rejections, lin.rejections);
+        for w in 0..n {
+            assert_eq!(idx.worker(w), lin.worker(w), "worker {w} state diverged");
+        }
+    }
+
+    /// Release restores the exact pre-place scheduler state: place a
+    /// job, release it, and every observable (per-worker availability,
+    /// utilization aggregates, and the next placement decision) matches
+    /// a scheduler that never saw the job.
+    #[cases(96)]
+    fn release_then_place_restores_state(rng) {
+        let n = rng.gen_range(1usize..40);
+        let kind = if rng.gen_bool(0.5) {
+            SchedulerKind::MultiDim
+        } else {
+            SchedulerKind::SingleSlot { slots: rng.gen_range(1u32..4) }
+        };
+        let mode = if rng.gen_bool(0.5) {
+            PlacementMode::Indexed
+        } else {
+            PlacementMode::LinearScan
+        };
+        let mut s = Scheduler::with_placement(kind, n, 1, mode);
+        // Random warm-up load that stays resident.
+        let mut resident: Vec<(usize, ResourceDemand)> = Vec::new();
+        for _ in 0..rng.gen_range(0usize..60) {
+            let d = ResourceDemand {
+                millidecode: rng.gen_range(0u32..1_500),
+                milliencode: rng.gen_range(0u32..5_000),
+                dram_mib: rng.gen_range(0u32..3_000),
+                host_mcpu: rng.gen_range(0u32..2_500),
+            };
+            if let Some(w) = s.place_from(d, rng.gen_range(0usize..n), n) {
+                resident.push((w, d));
+            }
+        }
+        let before: Vec<_> = (0..n).map(|w| s.worker(w).clone()).collect();
+        let enc_before = s.encode_utilization();
+        let dec_before = s.decode_utilization();
+        let extra = ResourceDemand {
+            millidecode: rng.gen_range(1u32..2_000),
+            milliencode: rng.gen_range(1u32..6_000),
+            dram_mib: rng.gen_range(1u32..3_000),
+            host_mcpu: rng.gen_range(1u32..2_500),
+        };
+        let start = rng.gen_range(0usize..n);
+        if let Some(w) = s.place_from(extra, start, n) {
+            s.release(w, extra);
+            for (v, prev) in before.iter().enumerate() {
+                assert_eq!(s.worker(v), prev, "worker {v} not restored");
+            }
+            assert_eq!(s.encode_utilization(), enc_before);
+            assert_eq!(s.decode_utilization(), dec_before);
+            // The restored state makes the identical decision again.
+            assert_eq!(s.place_from(extra, start, n), Some(w));
+        }
     }
 }

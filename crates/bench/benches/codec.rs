@@ -6,14 +6,14 @@
 //! machine-readable output in `results/bench_codec.json`. Run:
 //! `cargo bench -p vcu-bench --bench codec --offline`
 
-use vcu_bench::timing::Harness;
+use vcu_bench::timing::{results_path, smoke, Harness};
 use vcu_codec::entropy::{AdaptiveModel, BoolDecoder, BoolEncoder};
 use vcu_codec::motion::{satd, search, SearchParams};
 use vcu_codec::stats::CodingStats;
 use vcu_codec::tempfilter::temporal_filter;
 use vcu_codec::transform::{forward, inverse};
 use vcu_codec::types::MotionVector;
-use vcu_codec::{decode, encode, EncoderConfig, Profile, Qp, TuningLevel};
+use vcu_codec::{decode, encode, encode_parallel, EncoderConfig, Profile, Qp, TuningLevel};
 use vcu_media::synth::{ContentClass, SynthSpec};
 use vcu_media::{Plane, Resolution};
 
@@ -100,8 +100,8 @@ fn bench_temporal_filter(h: &mut Harness) {
     });
 }
 
-fn bench_encode_decode(h: &mut Harness) {
-    let v = SynthSpec::new(Resolution::R144, 6, ContentClass::ugc(), 9).generate();
+fn bench_encode_decode(h: &mut Harness, frames: usize) {
+    let v = SynthSpec::new(Resolution::R144, frames, ContentClass::ugc(), 9).generate();
     for (name, cfg) in [
         (
             "codec/encode_h264_sw",
@@ -125,13 +125,46 @@ fn bench_encode_decode(h: &mut Harness) {
     });
 }
 
+/// Chunk-parallel encode at 1/2/4 threads over the same clip. The
+/// rows share one chunk plan, so they measure pure thread scaling; the
+/// final assert pins the determinism contract (thread count must never
+/// change the bitstream) in the bench itself.
+fn bench_parallel_encode(h: &mut Harness, frames: usize, chunk_frames: usize) {
+    let v = SynthSpec::new(Resolution::R144, frames, ContentClass::ugc(), 9).generate();
+    let base = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32));
+    let mut streams: Vec<Vec<u8>> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let cfg = base.with_threads(threads);
+        h.bench_elements(
+            &format!("codec/encode_vp9_sw_t{threads}"),
+            Some(v.total_pixels()),
+            || encode_parallel(&cfg, &v, chunk_frames).unwrap(),
+        );
+        streams.push(encode_parallel(&cfg, &v, chunk_frames).unwrap().bytes);
+    }
+    assert!(
+        streams.windows(2).all(|w| w[0] == w[1]),
+        "thread count changed the chunked bitstream"
+    );
+}
+
 fn main() {
+    let smoke = smoke();
     let mut h = Harness::new();
     bench_transform(&mut h);
     bench_entropy(&mut h);
     bench_motion(&mut h);
     bench_temporal_filter(&mut h);
-    bench_encode_decode(&mut h);
-    h.write_json(&vcu_bench::timing::results_path("bench_codec.json"))
-        .expect("write results/bench_codec.json");
+    bench_encode_decode(&mut h, if smoke { 2 } else { 6 });
+    let (pframes, pchunk) = if smoke { (4, 2) } else { (12, 3) };
+    bench_parallel_encode(&mut h, pframes, pchunk);
+    let path = if smoke {
+        std::env::temp_dir()
+            .join("bench_codec_smoke.json")
+            .to_string_lossy()
+            .into_owned()
+    } else {
+        results_path("bench_codec.json")
+    };
+    h.write_json(&path).expect("write bench_codec results");
 }

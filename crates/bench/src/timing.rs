@@ -42,16 +42,31 @@ impl Record {
     }
 }
 
+/// True when `VCU_BENCH_SMOKE` requests the seconds-long CI
+/// configuration (any non-empty value other than `"0"`).
+pub fn smoke() -> bool {
+    std::env::var("VCU_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
 /// A suite of benchmarks accumulating records, flushed to JSON.
+///
+/// Under `VCU_BENCH_SMOKE` the harness switches to a quick mode —
+/// calibration is skipped and fewer repetitions run — so CI can
+/// exercise every bench path in seconds. Quick-mode numbers are noisy
+/// by design; smoke runs write to temp paths, never `results/`.
 #[derive(Debug, Default)]
 pub struct Harness {
     records: Vec<Record>,
+    quick: bool,
 }
 
 impl Harness {
-    /// Creates an empty harness.
+    /// Creates an empty harness, in quick mode when [`smoke`] is set.
     pub fn new() -> Self {
-        Self::default()
+        Harness {
+            records: Vec::new(),
+            quick: smoke(),
+        }
     }
 
     /// Times `f`, printing and recording the result. The closure's
@@ -72,16 +87,19 @@ impl Harness {
         // Calibrate: grow the iteration count until one rep is slow
         // enough to time reliably.
         let mut iters: u64 = 1;
-        loop {
-            let t = time_iters(iters, &mut f);
-            if t >= TARGET_REP || iters >= 1 << 24 {
-                break;
+        if !self.quick {
+            loop {
+                let t = time_iters(iters, &mut f);
+                if t >= TARGET_REP || iters >= 1 << 24 {
+                    break;
+                }
+                // Aim straight at the target with 2x headroom.
+                let scale = TARGET_REP.as_secs_f64() / t.as_secs_f64().max(1e-9);
+                iters = (iters as f64 * scale.clamp(2.0, 100.0)).ceil() as u64;
             }
-            // Aim straight at the target with 2x headroom.
-            let scale = TARGET_REP.as_secs_f64() / t.as_secs_f64().max(1e-9);
-            iters = (iters as f64 * scale.clamp(2.0, 100.0)).ceil() as u64;
         }
-        let mut per_iter_ns: Vec<f64> = (0..DEFAULT_REPS)
+        let reps = if self.quick { 3 } else { DEFAULT_REPS };
+        let mut per_iter_ns: Vec<f64> = (0..reps)
             .map(|_| time_iters(iters, &mut f).as_nanos() as f64 / iters as f64)
             .collect();
         per_iter_ns.sort_by(|a, b| a.total_cmp(b));
@@ -89,7 +107,7 @@ impl Harness {
         let record = Record {
             name: name.to_string(),
             iters,
-            reps: DEFAULT_REPS,
+            reps,
             median_ns,
             min_ns: per_iter_ns[0],
             mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
@@ -167,6 +185,9 @@ impl Harness {
             ));
             if let Some(e) = r.elements {
                 out.push_str(&format!(", \"elements\": {e}"));
+            }
+            if let Some(t) = r.elems_per_s() {
+                out.push_str(&format!(", \"throughput\": {t:.1}"));
             }
             out.push('}');
             if i + 1 < self.records.len() {
@@ -255,12 +276,17 @@ mod tests {
     fn json_is_written() {
         let mut h = Harness::new();
         h.bench("smoke/nop", || 1u8);
+        h.bench_elements("smoke/elems", Some(64), || 1u8);
         let path = std::env::temp_dir().join("vcu_bench_smoke.json");
         let path = path.to_str().unwrap();
         h.write_json(path).unwrap();
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"smoke/nop\""));
         assert!(body.trim_start().starts_with('['));
+        // Rows with elements carry a derived elements/s throughput.
+        let elems_row = body.lines().find(|l| l.contains("smoke/elems")).unwrap();
+        assert!(elems_row.contains("\"throughput\":"));
+        assert!(!body.lines().any(|l| l.contains("smoke/nop") && l.contains("throughput")));
         // The telemetry twin lands next to the records.
         let twin = std::fs::read_to_string(telemetry_sibling(path)).unwrap();
         assert!(twin.contains("\"bench.smoke/nop.median_ns\""));

@@ -9,8 +9,26 @@ use crate::entropy::{read_int, read_uint, write_int, write_uint, BoolDecoder, Bo
 use crate::models::{tx_class, Models};
 use crate::quant::{dequantize, optimize_levels, quantize};
 use crate::stats::CodingStats;
-use crate::transform::{forward, inverse, zigzag};
+use crate::transform::{forward_with, inverse_with, zigzag, TxScratch};
 use crate::types::Qp;
+
+/// Reusable buffers for tile encode/decode so the per-tile hot path
+/// performs no heap allocation. One instance lives in the frame-level
+/// scratch arena; buffers grow to the largest tile seen and are reused.
+///
+/// After [`encode_tile`]/[`decode_tile`] return, `recon` holds the
+/// `tw x th` reconstructed residual.
+#[derive(Debug, Default)]
+pub(crate) struct TileScratch {
+    padded: Vec<i16>,
+    coeffs: Vec<f64>,
+    levels: Vec<i32>,
+    spatial: Vec<i16>,
+    tx: TxScratch,
+    /// Reconstructed residual of the last coded tile (`tw x th`).
+    pub(crate) recon: Vec<i16>,
+}
+
 
 /// Iterates tiles of granularity `t` covering a `bw x bh` block,
 /// calling `f(tx, ty, tw, th)` with tile-local offsets and actual
@@ -29,11 +47,11 @@ pub(crate) fn for_each_tile(bw: usize, bh: usize, t: usize, mut f: impl FnMut(us
     }
 }
 
-/// Encodes one residual tile and returns its reconstructed residual.
+/// Encodes one residual tile; the reconstruction lands in `ts.recon`.
 ///
 /// `residual` is the `tw x th` spatial-domain residual (row-major),
 /// which is zero-padded to the full `t x t` transform internally for
-/// partial tiles at frame edges. The returned reconstruction is `tw x th`.
+/// partial tiles at frame edges. The reconstruction is `tw x th`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn encode_tile(
     enc: &mut BoolEncoder,
@@ -46,29 +64,38 @@ pub(crate) fn encode_tile(
     deadzone: f64,
     trellis: bool,
     stats: &mut CodingStats,
-) -> Vec<i16> {
+    ts: &mut TileScratch,
+) {
     debug_assert_eq!(residual.len(), tw * th);
     let n = t * t;
+    let TileScratch {
+        padded,
+        coeffs,
+        levels,
+        spatial,
+        tx,
+        recon,
+    } = ts;
     // Pad to full transform size.
-    let mut padded = vec![0i16; n];
+    padded.clear();
+    padded.resize(n, 0);
     for y in 0..th {
         padded[y * t..y * t + tw].copy_from_slice(&residual[y * tw..(y + 1) * tw]);
     }
-    let mut coeffs = vec![0.0f64; n];
-    forward(&padded, t, &mut coeffs);
+    coeffs.resize(n, 0.0);
+    forward_with(padded, t, &mut coeffs[..n], tx);
     stats.transform_pixels += n as u64;
 
-    let mut levels = vec![0i32; n];
-    quantize(&coeffs, qp, deadzone, &mut levels);
+    levels.resize(n, 0);
+    quantize(&coeffs[..n], qp, deadzone, &mut levels[..n]);
     if trellis {
-        optimize_levels(&coeffs, qp, qp.lambda() * 0.15, &mut levels);
+        optimize_levels(&coeffs[..n], qp, qp.lambda() * 0.15, &mut levels[..n]);
     }
 
-    // Zigzag order.
+    // Zigzag order, scanned in place (no gather buffer).
     let zz = zigzag(t);
-    let scanned: Vec<i32> = zz.iter().map(|&i| levels[i]).collect();
     let cls = tx_class(t);
-    let last = scanned.iter().rposition(|&l| l != 0);
+    let last = (0..n).rev().find(|&i| levels[zz[i]] != 0);
     match last {
         None => {
             models.has_coeffs.encode(enc, cls, false);
@@ -76,18 +103,20 @@ pub(crate) fn encode_tile(
         Some(last) => {
             models.has_coeffs.encode(enc, cls, true);
             write_uint(enc, &mut models.last_nz[cls], 0, last as u32);
-            for (i, &l) in scanned.iter().take(last + 1).enumerate() {
+            for (i, &zi) in zz.iter().take(last + 1).enumerate() {
                 let base = if i == 0 { 0 } else { 4 };
-                write_int(enc, &mut models.level[cls], base, l);
+                write_int(enc, &mut models.level[cls], base, levels[zi]);
             }
         }
     }
 
     // Reconstruct exactly as the decoder will.
-    reconstruct_tile(&levels, t, tw, th, qp, stats)
+    reconstruct_tile(levels, t, tw, th, qp, stats, coeffs, spatial, tx, recon);
 }
 
-/// Decodes one residual tile, returning the `tw x th` reconstruction.
+/// Decodes one residual tile; the `tw x th` reconstruction lands in
+/// `ts.recon`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn decode_tile(
     dec: &mut BoolDecoder<'_>,
     models: &mut Models,
@@ -96,10 +125,20 @@ pub(crate) fn decode_tile(
     t: usize,
     qp: Qp,
     stats: &mut CodingStats,
-) -> Vec<i16> {
+    ts: &mut TileScratch,
+) {
     let n = t * t;
     let cls = tx_class(t);
-    let mut levels = vec![0i32; n];
+    let TileScratch {
+        coeffs,
+        levels,
+        spatial,
+        tx,
+        recon,
+        ..
+    } = ts;
+    levels.clear();
+    levels.resize(n, 0);
     if models.has_coeffs.decode(dec, cls) {
         let last = read_uint(dec, &mut models.last_nz[cls], 0) as usize;
         let zz = zigzag(t);
@@ -108,10 +147,11 @@ pub(crate) fn decode_tile(
             levels[zz[i]] = read_int(dec, &mut models.level[cls], base);
         }
     }
-    reconstruct_tile(&levels, t, tw, th, qp, stats)
+    reconstruct_tile(levels, t, tw, th, qp, stats, coeffs, spatial, tx, recon);
 }
 
 /// Shared reconstruction: dequantize + inverse transform + crop.
+#[allow(clippy::too_many_arguments)]
 fn reconstruct_tile(
     levels: &[i32],
     t: usize,
@@ -119,18 +159,22 @@ fn reconstruct_tile(
     th: usize,
     qp: Qp,
     stats: &mut CodingStats,
-) -> Vec<i16> {
+    coeffs: &mut Vec<f64>,
+    spatial: &mut Vec<i16>,
+    tx: &mut TxScratch,
+    out: &mut Vec<i16>,
+) {
     let n = t * t;
-    let mut coeffs = vec![0.0f64; n];
-    dequantize(levels, qp, &mut coeffs);
-    let mut spatial = vec![0i16; n];
-    inverse(&coeffs, t, &mut spatial);
+    coeffs.resize(n, 0.0);
+    dequantize(&levels[..n], qp, &mut coeffs[..n]);
+    spatial.resize(n, 0);
+    inverse_with(&coeffs[..n], t, &mut spatial[..n], tx);
     stats.transform_pixels += n as u64;
-    let mut out = vec![0i16; tw * th];
+    out.clear();
+    out.resize(tw * th, 0);
     for y in 0..th {
         out[y * tw..(y + 1) * tw].copy_from_slice(&spatial[y * t..y * t + tw]);
     }
-    out
 }
 
 /// Computes the spatial residual `cur - pred` as i16.
@@ -172,15 +216,17 @@ mod tests {
 
         let mut enc = BoolEncoder::new();
         let mut me = Models::new();
-        let recon_e = encode_tile(
-            &mut enc, &mut me, &residual, tw, th, t, qp, 0.5, false, &mut stats,
+        let mut ts = TileScratch::default();
+        encode_tile(
+            &mut enc, &mut me, &residual, tw, th, t, qp, 0.5, false, &mut stats, &mut ts,
         );
+        let recon_e = ts.recon.clone();
         let bytes = enc.finish();
 
         let mut dec = BoolDecoder::new(&bytes);
         let mut md = Models::new();
-        let recon_d = decode_tile(&mut dec, &mut md, tw, th, t, qp, &mut stats);
-        assert_eq!(recon_e, recon_d, "encoder/decoder reconstruction mismatch");
+        decode_tile(&mut dec, &mut md, tw, th, t, qp, &mut stats, &mut ts);
+        assert_eq!(recon_e, ts.recon, "encoder/decoder reconstruction mismatch");
     }
 
     #[test]
@@ -192,14 +238,16 @@ mod tests {
         let mut stats = CodingStats::new();
         let mut enc = BoolEncoder::new();
         let mut me = Models::new();
-        let recon_e = encode_tile(
-            &mut enc, &mut me, &residual, tw, th, t, qp, 0.5, false, &mut stats,
+        let mut ts = TileScratch::default();
+        encode_tile(
+            &mut enc, &mut me, &residual, tw, th, t, qp, 0.5, false, &mut stats, &mut ts,
         );
+        let recon_e = ts.recon.clone();
         let bytes = enc.finish();
         let mut dec = BoolDecoder::new(&bytes);
         let mut md = Models::new();
-        let recon_d = decode_tile(&mut dec, &mut md, tw, th, t, qp, &mut stats);
-        assert_eq!(recon_e, recon_d);
+        decode_tile(&mut dec, &mut md, tw, th, t, qp, &mut stats, &mut ts);
+        assert_eq!(recon_e, ts.recon);
         assert_eq!(recon_e.len(), tw * th);
     }
 
@@ -209,12 +257,13 @@ mod tests {
         let mut stats = CodingStats::new();
         let mut enc = BoolEncoder::new();
         let mut me = Models::new();
-        let recon = encode_tile(
-            &mut enc, &mut me, &residual, 8, 8, 8, Qp::new(0), 0.5, false, &mut stats,
+        let mut ts = TileScratch::default();
+        encode_tile(
+            &mut enc, &mut me, &residual, 8, 8, 8, Qp::new(0), 0.5, false, &mut stats, &mut ts,
         );
         let max_err = residual
             .iter()
-            .zip(&recon)
+            .zip(&ts.recon)
             .map(|(a, b)| (a - b).abs())
             .max()
             .unwrap();
@@ -227,7 +276,10 @@ mod tests {
         let mut stats = CodingStats::new();
         let mut enc = BoolEncoder::new();
         let mut me = Models::new();
-        encode_tile(&mut enc, &mut me, &residual, 8, 8, 8, Qp::new(30), 0.5, false, &mut stats);
+        let mut ts = TileScratch::default();
+        encode_tile(
+            &mut enc, &mut me, &residual, 8, 8, 8, Qp::new(30), 0.5, false, &mut stats, &mut ts,
+        );
         // Flush dominates; payload must be tiny.
         assert!(enc.finish().len() <= 6);
     }

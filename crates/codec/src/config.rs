@@ -232,6 +232,10 @@ pub struct EncoderConfig {
     /// Frames between altref insertions (0 disables; only effective
     /// for profiles/toolsets that support altref).
     pub altref_period: usize,
+    /// Worker threads for chunk-parallel encoding (see
+    /// `encode_parallel`). `1` encodes chunks sequentially; the output
+    /// bitstream is byte-identical for every thread count.
+    pub threads: usize,
 }
 
 impl EncoderConfig {
@@ -243,6 +247,7 @@ impl EncoderConfig {
             rc: RateControl::ConstQp(qp),
             keyframe_interval: 150,
             altref_period: 16,
+            threads: 1,
         }
     }
 
@@ -254,12 +259,20 @@ impl EncoderConfig {
             rc: RateControl::Bitrate { bps, pass },
             keyframe_interval: 150,
             altref_period: 16,
+            threads: 1,
         }
     }
 
     /// Switches to the hardware toolset at the given tuning level.
     pub fn with_hardware(mut self, tuning: TuningLevel) -> Self {
         self.toolset = Toolset::Hardware { tuning };
+        self
+    }
+
+    /// Sets the worker-thread count for chunk-parallel encoding
+    /// (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 
@@ -295,6 +308,17 @@ impl EncoderConfig {
                 _ => true,
             }
     }
+}
+
+/// Reads the `VCU_THREADS` environment variable: the fleet-style knob
+/// for chunk-parallel encoding. Unset, empty, unparsable, or zero all
+/// fall back to 1 (sequential).
+pub fn env_threads() -> usize {
+    std::env::var("VCU_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -8,15 +8,16 @@
 //! bit-for-bit — the determinism the paper's golden-transcode fault
 //! screening depends on (§4.4).
 
-use crate::block::{compute_residual, decode_tile, encode_tile, for_each_tile};
+use crate::block::{compute_residual, decode_tile, encode_tile, for_each_tile, TileScratch};
 use crate::config::EncoderConfig;
 use crate::deblock::deblock_plane;
 use crate::entropy::{read_int, read_uint, write_int, write_uint, BoolDecoder, BoolEncoder};
 use crate::intra::{IntraMode, IntraNeighbors};
 use crate::models::Models;
-use crate::motion::{mc_block, satd, search, SearchParams};
+use crate::motion::{mc_block, satd, search_scratch, MotionScratch, SearchParams, SearchResult};
 use crate::stats::CodingStats;
 use crate::types::{CodecError, FrameKind, MotionVector, Profile, Qp};
+use std::collections::HashMap;
 use vcu_media::{Frame, Plane};
 
 /// Reference-slot file: LAST / GOLDEN / ALTREF.
@@ -125,6 +126,49 @@ fn mv_bits_estimate(mv: MotionVector, pred: MotionVector) -> f64 {
     4.0 + 2.0 * ((dx + 1.0).log2() + (dy + 1.0).log2())
 }
 
+/// Frame-level scratch arena for the encoder: every per-block buffer
+/// the hot path needs, allocated once and grown to the largest block
+/// seen. Removes all heap allocation from the superblock walk.
+#[derive(Debug, Default)]
+struct EncScratch {
+    /// Current-block pixels (should_split / code_leaf / chroma).
+    cur_blk: Vec<u8>,
+    /// Final prediction for the block being coded.
+    pred: Vec<u8>,
+    /// Second prediction for compound averaging.
+    pred2: Vec<u8>,
+    /// Mode-decision prediction candidates.
+    mode_pred: Vec<u8>,
+    mode_p1: Vec<u8>,
+    mode_p2: Vec<u8>,
+    /// Spatial residual of the block.
+    residual: Vec<i16>,
+    /// Residual gathered for one tile.
+    tile_res: Vec<i16>,
+    /// Reconstructed block pixels before write-back.
+    recon_blk: Vec<u8>,
+    /// Tile transform/quantize/entropy buffers.
+    tile: TileScratch,
+    /// Motion-search buffers.
+    motion: MotionScratch,
+}
+
+/// Decoder-side scratch arena, mirroring [`EncScratch`] for the
+/// (smaller) set of buffers the decode walk needs.
+#[derive(Debug, Default)]
+struct DecScratch {
+    pred: Vec<u8>,
+    pred2: Vec<u8>,
+    recon_blk: Vec<u8>,
+    tile: TileScratch,
+}
+
+/// Key identifying one motion search: block geometry, predictor seed
+/// and search parameters. Only reference slot 0 is cached (the slot
+/// both `should_split` and the leaf mode decision query), so the slot
+/// index is not part of the key.
+type SearchKey = (usize, usize, usize, usize, i16, i16, SearchParams);
+
 /// A leaf-block coding decision.
 #[derive(Debug, Clone)]
 enum BlockMode {
@@ -161,6 +205,8 @@ pub fn encode_frame(
         last_mv: MotionVector::ZERO,
         search: cfg.toolset.search_params(),
         stats,
+        scratch: EncScratch::default(),
+        search_cache: HashMap::new(),
     };
 
     let sb = cfg.profile.superblock_size();
@@ -199,9 +245,54 @@ struct FrameEnc<'a> {
     last_mv: MotionVector,
     search: SearchParams,
     stats: &'a mut CodingStats,
+    scratch: EncScratch,
+    /// Per-frame motion-search memo for reference slot 0. The split
+    /// heuristic and the leaf mode decision run the identical search;
+    /// the cache stores the result *and* the exact `CodingStats` delta
+    /// the live search charged, replaying it on a hit so metering (and
+    /// thus the chip timing model) is byte-identical to searching twice.
+    search_cache: HashMap<SearchKey, (SearchResult, CodingStats)>,
 }
 
 impl FrameEnc<'_> {
+    /// Motion search through the per-frame memo. Cache hits replay the
+    /// recorded stats delta; misses run the real search and record it.
+    /// Only reference slot 0 participates — other slots always search.
+    fn cached_search(
+        &mut self,
+        ref_idx: usize,
+        x: usize,
+        y: usize,
+        bw: usize,
+        bh: usize,
+        params: &SearchParams,
+    ) -> SearchResult {
+        let key = (x, y, bw, bh, self.last_mv.x, self.last_mv.y, *params);
+        if ref_idx == 0 {
+            if let Some(&(r, delta)) = self.search_cache.get(&key) {
+                *self.stats += delta;
+                return r;
+            }
+        }
+        let before = *self.stats;
+        let r = search_scratch(
+            self.refs[ref_idx].y(),
+            self.cur.y(),
+            x,
+            y,
+            bw,
+            bh,
+            self.last_mv,
+            params,
+            self.stats,
+            &mut self.scratch.motion,
+        );
+        if ref_idx == 0 {
+            self.search_cache.insert(key, (r, *self.stats - before));
+        }
+        r
+    }
+
     fn code_block(&mut self, x: usize, y: usize, size: usize, depth: usize) {
         let (w, h) = (self.cur.width(), self.cur.height());
         if x >= w || y >= h {
@@ -232,12 +323,14 @@ impl FrameEnc<'_> {
         if bw < size || bh < size {
             return true;
         }
-        let mut blk = vec![0u8; bw * bh];
-        self.cur
-            .y()
-            .copy_block_clamped(x as isize, y as isize, bw, bh, &mut blk);
         if self.refs.is_empty() {
             // Intra frame: split when spatial variance is high.
+            let blk = &mut self.scratch.cur_blk;
+            blk.clear();
+            blk.resize(bw * bh, 0);
+            self.cur
+                .y()
+                .copy_block_clamped(x as isize, y as isize, bw, bh, blk);
             let mean = blk.iter().map(|&v| v as u64).sum::<u64>() / blk.len() as u64;
             let mad: u64 = blk
                 .iter()
@@ -250,20 +343,12 @@ impl FrameEnc<'_> {
         // four sub-blocks' independent searches plus the syntax
         // overhead of coding three extra modes/MVs. Multi-motion
         // content (several sprites in one superblock) splits; uniform
-        // pans keep large blocks.
+        // pans keep large blocks. Both the whole-block and quadrant
+        // searches go through the memo: the quadrant results are what
+        // the next partition level (and ultimately the leaf mode
+        // decision) re-requests.
         let bounded = SearchParams::hardware();
-        let whole = search(
-            self.refs[0].y(),
-            self.cur.y(),
-            x,
-            y,
-            bw,
-            bh,
-            self.last_mv,
-            &bounded,
-            self.stats,
-        )
-        .sad;
+        let whole = self.cached_search(0, x, y, bw, bh, &bounded).sad;
         let half = size / 2;
         let (w, h) = (self.cur.width(), self.cur.height());
         let mut subs = 0u64;
@@ -273,18 +358,7 @@ impl FrameEnc<'_> {
             }
             let sbw = half.min(w - qx);
             let sbh = half.min(h - qy);
-            subs += search(
-                self.refs[0].y(),
-                self.cur.y(),
-                qx,
-                qy,
-                sbw,
-                sbh,
-                self.last_mv,
-                &bounded,
-                self.stats,
-            )
-            .sad;
+            subs += self.cached_search(0, qx, qy, sbw, sbh, &bounded).sad;
         }
         let lambda_sad = 0.9 * self.qp.step() * self.cfg.toolset.lambda_scale();
         let split_overhead_bits = 36.0; // three extra mode/MV sets
@@ -295,7 +369,11 @@ impl FrameEnc<'_> {
         let (w, h) = (self.cur.width(), self.cur.height());
         let bw = size.min(w - x);
         let bh = size.min(h - y);
-        let mut cur_blk = vec![0u8; bw * bh];
+        // Buffers crossing `&mut self` calls are taken out of the arena
+        // and restored at the end (no allocation either way).
+        let mut cur_blk = std::mem::take(&mut self.scratch.cur_blk);
+        cur_blk.clear();
+        cur_blk.resize(bw * bh, 0);
         self.cur
             .y()
             .copy_block_clamped(x as isize, y as isize, bw, bh, &mut cur_blk);
@@ -307,7 +385,10 @@ impl FrameEnc<'_> {
             let is_inter = matches!(mode, BlockMode::Inter { .. });
             self.models.is_inter.encode(&mut self.enc, 0, is_inter);
         }
-        let pred = match &mode {
+        let mut pred = std::mem::take(&mut self.scratch.pred);
+        pred.clear();
+        pred.resize(bw * bh, 0);
+        match &mode {
             BlockMode::Intra(m) => {
                 write_uint(
                     &mut self.enc,
@@ -318,9 +399,7 @@ impl FrameEnc<'_> {
                 self.stats.intra_blocks += 1;
                 self.stats.intra_pixels += (bw * bh) as u64;
                 let n = IntraNeighbors::gather(self.recon.y(), x, y, bw, bh);
-                let mut p = vec![0u8; bw * bh];
-                n.predict(*m, &mut p);
-                p
+                n.predict(*m, &mut pred);
             }
             BlockMode::Inter {
                 ref_idx,
@@ -342,18 +421,18 @@ impl FrameEnc<'_> {
                 }
                 self.stats.inter_blocks += 1;
                 self.stats.mc_pixels += (bw * bh) as u64;
-                let mut p = vec![0u8; bw * bh];
-                mc_block(self.refs[*ref_idx].y(), x, y, *mv, bw, bh, &mut p);
+                mc_block(self.refs[*ref_idx].y(), x, y, *mv, bw, bh, &mut pred);
                 if let Some((r2, mv2)) = compound {
-                    let mut p2 = vec![0u8; bw * bh];
-                    mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, &mut p2);
+                    let p2 = &mut self.scratch.pred2;
+                    p2.clear();
+                    p2.resize(bw * bh, 0);
+                    mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, p2);
                     self.stats.mc_pixels += (bw * bh) as u64;
-                    for (a, b) in p.iter_mut().zip(&p2) {
+                    for (a, b) in pred.iter_mut().zip(p2.iter()) {
                         *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
                     }
                 }
                 self.last_mv = *mv;
-                p
             }
         };
 
@@ -361,7 +440,9 @@ impl FrameEnc<'_> {
         // concentrated residuals prefer the smaller transform (VP9's
         // adaptive TX size; H.264 High's 8x8/4x4 choice).
         let t_full = size.min(max_tx(self.cfg.profile));
-        let mut residual = vec![0i16; bw * bh];
+        let mut residual = std::mem::take(&mut self.scratch.residual);
+        residual.clear();
+        residual.resize(bw * bh, 0);
         compute_residual(&cur_blk, &pred, &mut residual);
         let t = if t_full > 4 {
             let split_tx = tx_split_heuristic(&residual, bw, bh, t_full, self.qp);
@@ -380,37 +461,38 @@ impl FrameEnc<'_> {
         };
         let deadzone = self.cfg.toolset.deadzone();
         let trellis = self.cfg.toolset.trellis();
-        let mut recon_blk = vec![0u8; bw * bh];
+        let mut recon_blk = std::mem::take(&mut self.scratch.recon_blk);
+        recon_blk.clear();
+        recon_blk.resize(bw * bh, 0);
         {
+            let enc = &mut self.enc;
+            let models = &mut self.models;
+            let stats = &mut *self.stats;
+            let qp = self.qp;
+            let EncScratch { tile, tile_res, .. } = &mut self.scratch;
             for_each_tile(bw, bh, t, |tx, ty, tw, th| {
-                let mut tile_res = vec![0i16; tw * th];
+                tile_res.clear();
+                tile_res.resize(tw * th, 0);
                 for r in 0..th {
                     for c in 0..tw {
                         tile_res[r * tw + c] = residual[(ty + r) * bw + tx + c];
                     }
                 }
-                let rec = encode_tile(
-                    &mut self.enc,
-                    &mut self.models,
-                    &tile_res,
-                    tw,
-                    th,
-                    t,
-                    self.qp,
-                    deadzone,
-                    trellis,
-                    self.stats,
-                );
+                encode_tile(enc, models, tile_res, tw, th, t, qp, deadzone, trellis, stats, tile);
                 for r in 0..th {
                     for c in 0..tw {
                         let p = pred[(ty + r) * bw + tx + c];
                         recon_blk[(ty + r) * bw + tx + c] =
-                            (p as i32 + rec[r * tw + c] as i32).clamp(0, 255) as u8;
+                            (p as i32 + tile.recon[r * tw + c] as i32).clamp(0, 255) as u8;
                     }
                 }
             });
         }
         self.recon.y_mut().write_block(x, y, bw, bh, &recon_blk);
+        self.scratch.cur_blk = cur_blk;
+        self.scratch.pred = pred;
+        self.scratch.residual = residual;
+        self.scratch.recon_blk = recon_blk;
 
         // Chroma planes.
         self.code_leaf_chroma(x, y, bw, bh, &mode);
@@ -423,16 +505,23 @@ impl FrameEnc<'_> {
         let t = (bw.min(bh).next_power_of_two().min(max_tx(self.cfg.profile)) / 2).max(4);
         let deadzone = self.cfg.toolset.deadzone();
         let chroma_qp = self.qp.offset(2); // chroma slightly coarser
+        let mut cur_blk = std::mem::take(&mut self.scratch.cur_blk);
+        let mut pred = std::mem::take(&mut self.scratch.pred);
+        let mut residual = std::mem::take(&mut self.scratch.residual);
+        let mut recon_blk = std::mem::take(&mut self.scratch.recon_blk);
         for plane_idx in 0..2 {
             let (cur_p, refs_p): (&Plane, Vec<&Plane>) = if plane_idx == 0 {
                 (self.cur.u(), self.refs.iter().map(|f| f.u()).collect())
             } else {
                 (self.cur.v(), self.refs.iter().map(|f| f.v()).collect())
             };
-            let mut cur_blk = vec![0u8; cbw * cbh];
+            cur_blk.clear();
+            cur_blk.resize(cbw * cbh, 0);
             cur_p.copy_block_clamped(cx as isize, cy as isize, cbw, cbh, &mut cur_blk);
 
-            let pred = match mode {
+            pred.clear();
+            pred.resize(cbw * cbh, 0);
+            match mode {
                 BlockMode::Intra(m) => {
                     let recon_p = if plane_idx == 0 {
                         self.recon.u()
@@ -440,9 +529,7 @@ impl FrameEnc<'_> {
                         self.recon.v()
                     };
                     let n = IntraNeighbors::gather(recon_p, cx, cy, cbw, cbh);
-                    let mut p = vec![0u8; cbw * cbh];
-                    n.predict(*m, &mut p);
-                    p
+                    n.predict(*m, &mut pred);
                 }
                 BlockMode::Inter {
                     ref_idx,
@@ -450,57 +537,61 @@ impl FrameEnc<'_> {
                     compound,
                 } => {
                     let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
-                    let mut p = vec![0u8; cbw * cbh];
-                    mc_block(refs_p[*ref_idx], cx, cy, cmv, cbw, cbh, &mut p);
+                    mc_block(refs_p[*ref_idx], cx, cy, cmv, cbw, cbh, &mut pred);
                     if let Some((r2, mv2)) = compound {
                         let cmv2 = MotionVector::new(mv2.x / 2, mv2.y / 2);
-                        let mut p2 = vec![0u8; cbw * cbh];
-                        mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, &mut p2);
-                        for (a, b) in p.iter_mut().zip(&p2) {
+                        let p2 = &mut self.scratch.pred2;
+                        p2.clear();
+                        p2.resize(cbw * cbh, 0);
+                        mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, p2);
+                        for (a, b) in pred.iter_mut().zip(p2.iter()) {
                             *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
                         }
                     }
                     self.stats.mc_pixels += (cbw * cbh) as u64;
-                    p
                 }
             };
 
-            let mut residual = vec![0i16; cbw * cbh];
+            residual.clear();
+            residual.resize(cbw * cbh, 0);
             compute_residual(&cur_blk, &pred, &mut residual);
-            let mut recon_blk = vec![0u8; cbw * cbh];
-            for_each_tile(cbw, cbh, t, |tx, ty, tw, th| {
-                let mut tile_res = vec![0i16; tw * th];
-                for r in 0..th {
-                    for c in 0..tw {
-                        tile_res[r * tw + c] = residual[(ty + r) * cbw + tx + c];
+            recon_blk.clear();
+            recon_blk.resize(cbw * cbh, 0);
+            {
+                let enc = &mut self.enc;
+                let models = &mut self.models;
+                let stats = &mut *self.stats;
+                let EncScratch { tile, tile_res, .. } = &mut self.scratch;
+                for_each_tile(cbw, cbh, t, |tx, ty, tw, th| {
+                    tile_res.clear();
+                    tile_res.resize(tw * th, 0);
+                    for r in 0..th {
+                        for c in 0..tw {
+                            tile_res[r * tw + c] = residual[(ty + r) * cbw + tx + c];
+                        }
                     }
-                }
-                let rec = encode_tile(
-                    &mut self.enc,
-                    &mut self.models,
-                    &tile_res,
-                    tw,
-                    th,
-                    t,
-                    chroma_qp,
-                    deadzone,
-                    false,
-                    self.stats,
-                );
-                for r in 0..th {
-                    for c in 0..tw {
-                        let p = pred[(ty + r) * cbw + tx + c];
-                        recon_blk[(ty + r) * cbw + tx + c] =
-                            (p as i32 + rec[r * tw + c] as i32).clamp(0, 255) as u8;
+                    encode_tile(
+                        enc, models, tile_res, tw, th, t, chroma_qp, deadzone, false, stats, tile,
+                    );
+                    for r in 0..th {
+                        for c in 0..tw {
+                            let p = pred[(ty + r) * cbw + tx + c];
+                            recon_blk[(ty + r) * cbw + tx + c] =
+                                (p as i32 + tile.recon[r * tw + c] as i32).clamp(0, 255) as u8;
+                        }
                     }
-                }
-            });
+                });
+            }
             if plane_idx == 0 {
                 self.recon.u_mut().write_block(cx, cy, cbw, cbh, &recon_blk);
             } else {
                 self.recon.v_mut().write_block(cx, cy, cbw, cbh, &recon_blk);
             }
         }
+        self.scratch.cur_blk = cur_blk;
+        self.scratch.pred = pred;
+        self.scratch.residual = residual;
+        self.scratch.recon_blk = recon_blk;
     }
 
     fn choose_mode(&mut self, x: usize, y: usize, bw: usize, bh: usize, cur_blk: &[u8]) -> BlockMode {
@@ -521,7 +612,9 @@ impl FrameEnc<'_> {
         // Intra candidates.
         let mut best_intra: Option<(IntraMode, u64)> = None;
         let neighbors = IntraNeighbors::gather(self.recon.y(), x, y, bw, bh);
-        let mut pred_buf = vec![0u8; bw * bh];
+        let mut pred_buf = std::mem::take(&mut self.scratch.mode_pred);
+        pred_buf.clear();
+        pred_buf.resize(bw * bh, 0);
         for &m in intra_modes(self.cfg.profile) {
             neighbors.predict(m, &mut pred_buf);
             self.stats.intra_pixels += (bw * bh) as u64;
@@ -530,6 +623,7 @@ impl FrameEnc<'_> {
                 best_intra = Some((m, sad));
             }
         }
+        self.scratch.mode_pred = pred_buf;
         let (intra_mode, intra_sad) = best_intra.expect("at least one intra mode");
         let intra_cost = intra_sad as f64 + lambda_sad * 4.0;
 
@@ -537,21 +631,12 @@ impl FrameEnc<'_> {
             return BlockMode::Intra(intra_mode);
         }
 
-        // Inter candidates: one search per reference.
+        // Inter candidates: one search per reference (slot 0 through
+        // the memo, where the split heuristic usually primed it).
+        let sp = self.search;
         let mut per_ref = Vec::with_capacity(self.refs.len());
-        for rf in &self.refs {
-            let r = search(
-                rf.y(),
-                self.cur.y(),
-                x,
-                y,
-                bw,
-                bh,
-                self.last_mv,
-                &self.search,
-                self.stats,
-            );
-            per_ref.push(r);
+        for ri in 0..self.refs.len() {
+            per_ref.push(self.cached_search(ri, x, y, bw, bh, &sp));
         }
         let (best_ri, best_r) = per_ref
             .iter()
@@ -560,9 +645,13 @@ impl FrameEnc<'_> {
             .map(|(i, r)| (i, *r))
             .expect("non-empty refs");
         let inter_metric = if use_satd {
-            let mut p = vec![0u8; bw * bh];
+            let mut p = std::mem::take(&mut self.scratch.mode_p1);
+            p.clear();
+            p.resize(bw * bh, 0);
             mc_block(self.refs[best_ri].y(), x, y, best_r.mv, bw, bh, &mut p);
-            metric(cur_blk, &p, self.stats)
+            let m = metric(cur_blk, &p, self.stats);
+            self.scratch.mode_p1 = p;
+            m
         } else {
             best_r.sad
         };
@@ -576,17 +665,21 @@ impl FrameEnc<'_> {
             order.sort_by_key(|&i| per_ref[i].sad);
             let (r1, r2) = (order[0], order[1]);
             if r1 != r2 {
-                let mut p1 = vec![0u8; bw * bh];
-                let mut p2 = vec![0u8; bw * bh];
+                let mut p1 = std::mem::take(&mut self.scratch.mode_p1);
+                let mut p2 = std::mem::take(&mut self.scratch.mode_p2);
+                p1.clear();
+                p1.resize(bw * bh, 0);
+                p2.clear();
+                p2.resize(bw * bh, 0);
                 mc_block(self.refs[r1].y(), x, y, per_ref[r1].mv, bw, bh, &mut p1);
                 mc_block(self.refs[r2].y(), x, y, per_ref[r2].mv, bw, bh, &mut p2);
                 self.stats.mc_pixels += 2 * (bw * bh) as u64;
-                let avg: Vec<u8> = p1
-                    .iter()
-                    .zip(&p2)
-                    .map(|(a, b)| (*a as u16 + *b as u16).div_ceil(2) as u8)
-                    .collect();
-                let sad: u64 = metric(cur_blk, &avg, self.stats);
+                for (a, b) in p1.iter_mut().zip(p2.iter()) {
+                    *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
+                }
+                let sad: u64 = metric(cur_blk, &p1, self.stats);
+                self.scratch.mode_p1 = p1;
+                self.scratch.mode_p2 = p2;
                 let cost = sad as f64
                     + lambda_sad
                         * (3.0
@@ -643,6 +736,7 @@ pub fn decode_frame(
         recon: Frame::new(width, height),
         last_mv: MotionVector::ZERO,
         stats,
+        scratch: DecScratch::default(),
     };
     let sb = profile.superblock_size();
     let mut y = 0;
@@ -674,6 +768,7 @@ struct FrameDec<'a> {
     recon: Frame,
     last_mv: MotionVector,
     stats: &'a mut CodingStats,
+    scratch: DecScratch,
 }
 
 impl FrameDec<'_> {
@@ -753,31 +848,32 @@ impl FrameDec<'_> {
         };
 
         // Luma prediction.
-        let pred = match &mode {
+        let mut pred = std::mem::take(&mut self.scratch.pred);
+        pred.clear();
+        pred.resize(bw * bh, 0);
+        match &mode {
             BlockMode::Intra(m) => {
                 let n = IntraNeighbors::gather(self.recon.y(), x, y, bw, bh);
-                let mut p = vec![0u8; bw * bh];
-                n.predict(*m, &mut p);
+                n.predict(*m, &mut pred);
                 self.stats.intra_pixels += (bw * bh) as u64;
-                p
             }
             BlockMode::Inter {
                 ref_idx,
                 mv,
                 compound,
             } => {
-                let mut p = vec![0u8; bw * bh];
-                mc_block(self.refs[*ref_idx].y(), x, y, *mv, bw, bh, &mut p);
+                mc_block(self.refs[*ref_idx].y(), x, y, *mv, bw, bh, &mut pred);
                 self.stats.mc_pixels += (bw * bh) as u64;
                 if let Some((r2, mv2)) = compound {
-                    let mut p2 = vec![0u8; bw * bh];
-                    mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, &mut p2);
+                    let p2 = &mut self.scratch.pred2;
+                    p2.clear();
+                    p2.resize(bw * bh, 0);
+                    mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, p2);
                     self.stats.mc_pixels += (bw * bh) as u64;
-                    for (a, b) in p.iter_mut().zip(&p2) {
+                    for (a, b) in pred.iter_mut().zip(p2.iter()) {
                         *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
                     }
                 }
-                p
             }
         };
 
@@ -796,24 +892,29 @@ impl FrameDec<'_> {
         } else {
             t_full
         };
-        let mut recon_blk = vec![0u8; bw * bh];
+        let mut recon_blk = std::mem::take(&mut self.scratch.recon_blk);
+        recon_blk.clear();
+        recon_blk.resize(bw * bh, 0);
         {
             let models = &mut self.models;
             let dec = &mut self.dec;
             let stats = &mut *self.stats;
             let qp = self.qp;
+            let tile = &mut self.scratch.tile;
             for_each_tile(bw, bh, t, |tx, ty, tw, th| {
-                let rec = decode_tile(dec, models, tw, th, t, qp, stats);
+                decode_tile(dec, models, tw, th, t, qp, stats, tile);
                 for r in 0..th {
                     for c in 0..tw {
                         let p = pred[(ty + r) * bw + tx + c];
                         recon_blk[(ty + r) * bw + tx + c] =
-                            (p as i32 + rec[r * tw + c] as i32).clamp(0, 255) as u8;
+                            (p as i32 + tile.recon[r * tw + c] as i32).clamp(0, 255) as u8;
                     }
                 }
             });
         }
         self.recon.y_mut().write_block(x, y, bw, bh, &recon_blk);
+        self.scratch.pred = pred;
+        self.scratch.recon_blk = recon_blk;
 
         // Chroma.
         self.code_leaf_chroma(x, y, bw, bh, &mode);
@@ -826,13 +927,17 @@ impl FrameDec<'_> {
         let cbh = bh.div_ceil(2);
         let t = (bw.min(bh).next_power_of_two().min(max_tx(self.profile)) / 2).max(4);
         let chroma_qp = self.qp.offset(2);
+        let mut pred = std::mem::take(&mut self.scratch.pred);
+        let mut recon_blk = std::mem::take(&mut self.scratch.recon_blk);
         for plane_idx in 0..2 {
             let refs_p: Vec<&Plane> = if plane_idx == 0 {
                 self.refs.iter().map(|f| f.u()).collect()
             } else {
                 self.refs.iter().map(|f| f.v()).collect()
             };
-            let pred = match mode {
+            pred.clear();
+            pred.resize(cbw * cbh, 0);
+            match mode {
                 BlockMode::Intra(m) => {
                     let recon_p = if plane_idx == 0 {
                         self.recon.u()
@@ -840,9 +945,7 @@ impl FrameDec<'_> {
                         self.recon.v()
                     };
                     let n = IntraNeighbors::gather(recon_p, cx, cy, cbw, cbh);
-                    let mut p = vec![0u8; cbw * cbh];
-                    n.predict(*m, &mut p);
-                    p
+                    n.predict(*m, &mut pred);
                 }
                 BlockMode::Inter {
                     ref_idx,
@@ -850,33 +953,35 @@ impl FrameDec<'_> {
                     compound,
                 } => {
                     let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
-                    let mut p = vec![0u8; cbw * cbh];
-                    mc_block(refs_p[*ref_idx], cx, cy, cmv, cbw, cbh, &mut p);
+                    mc_block(refs_p[*ref_idx], cx, cy, cmv, cbw, cbh, &mut pred);
                     if let Some((r2, mv2)) = compound {
                         let cmv2 = MotionVector::new(mv2.x / 2, mv2.y / 2);
-                        let mut p2 = vec![0u8; cbw * cbh];
-                        mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, &mut p2);
-                        for (a, b) in p.iter_mut().zip(&p2) {
+                        let p2 = &mut self.scratch.pred2;
+                        p2.clear();
+                        p2.resize(cbw * cbh, 0);
+                        mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, p2);
+                        for (a, b) in pred.iter_mut().zip(p2.iter()) {
                             *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
                         }
                     }
                     self.stats.mc_pixels += (cbw * cbh) as u64;
-                    p
                 }
             };
 
-            let mut recon_blk = vec![0u8; cbw * cbh];
+            recon_blk.clear();
+            recon_blk.resize(cbw * cbh, 0);
             {
                 let models = &mut self.models;
                 let dec = &mut self.dec;
                 let stats = &mut *self.stats;
+                let tile = &mut self.scratch.tile;
                 for_each_tile(cbw, cbh, t, |tx, ty, tw, th| {
-                    let rec = decode_tile(dec, models, tw, th, t, chroma_qp, stats);
+                    decode_tile(dec, models, tw, th, t, chroma_qp, stats, tile);
                     for r in 0..th {
                         for c in 0..tw {
                             let p = pred[(ty + r) * cbw + tx + c];
                             recon_blk[(ty + r) * cbw + tx + c] =
-                                (p as i32 + rec[r * tw + c] as i32).clamp(0, 255) as u8;
+                                (p as i32 + tile.recon[r * tw + c] as i32).clamp(0, 255) as u8;
                         }
                     }
                 });
@@ -887,6 +992,8 @@ impl FrameDec<'_> {
                 self.recon.v_mut().write_block(cx, cy, cbw, cbh, &recon_blk);
             }
         }
+        self.scratch.pred = pred;
+        self.scratch.recon_blk = recon_blk;
     }
 }
 

@@ -15,6 +15,12 @@ use vcu_media::Plane;
 /// `(x, y) + mv` from `reference` into `out`, bilinearly interpolating
 /// for half-pel vectors and edge-clamping at frame borders.
 ///
+/// Half-pel taps use [`Plane::copy_block_hpel`]'s fixed-point integer
+/// bilinear kernel, which is byte-identical to the old per-pixel f64
+/// `sample_bilinear` path over the full u8 domain — the euclidean
+/// split of the vector reproduces `floor(x + mv/2)` for negative
+/// components too.
+///
 /// # Panics
 ///
 /// Panics if `out.len() != bw * bh`.
@@ -28,27 +34,15 @@ pub fn mc_block(
     out: &mut [u8],
 ) {
     assert_eq!(out.len(), bw * bh, "mc output size mismatch");
-    if mv.is_full_pel() {
-        reference.copy_block_clamped(
-            x as isize + (mv.x / 2) as isize,
-            y as isize + (mv.y / 2) as isize,
-            bw,
-            bh,
-            out,
-        );
-    } else {
-        let fx = x as f64 + mv.x as f64 / 2.0;
-        let fy = y as f64 + mv.y as f64 / 2.0;
-        for by in 0..bh {
-            for bx in 0..bw {
-                out[by * bw + bx] = reference.sample_bilinear(fx + bx as f64, fy + by as f64);
-            }
-        }
-    }
+    let bx = x as isize + (mv.x as isize).div_euclid(2);
+    let by = y as isize + (mv.y as isize).div_euclid(2);
+    let fx = (mv.x as isize).rem_euclid(2) as u8;
+    let fy = (mv.y as isize).rem_euclid(2) as u8;
+    reference.copy_block_hpel(bx, by, fx, fy, bw, bh, out);
 }
 
 /// Search configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SearchParams {
     /// Full-pel diamond search iteration cap.
     pub diamond_iters: u32,
@@ -93,9 +87,28 @@ pub struct SearchResult {
     pub sad: u64,
 }
 
+/// Reusable buffers for [`search_scratch`]: the current-block copy and
+/// the half-pel interpolation buffer. One instance threaded through a
+/// frame encode removes two heap allocations per searched block.
+#[derive(Debug, Default)]
+pub struct MotionScratch {
+    cur: Vec<u8>,
+    buf: Vec<u8>,
+}
+
+impl MotionScratch {
+    /// Empty scratch; buffers grow to the largest block searched.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Searches `reference` for the best match to the `bw x bh` block of
 /// `current` at `(x, y)`, seeded with `predictor` (and the zero vector).
 /// SAD work is metered into `stats`.
+///
+/// Allocates its scratch internally; hot paths should prefer
+/// [`search_scratch`] with a reused [`MotionScratch`].
 #[allow(clippy::too_many_arguments)]
 pub fn search(
     reference: &Plane,
@@ -108,22 +121,64 @@ pub fn search(
     params: &SearchParams,
     stats: &mut CodingStats,
 ) -> SearchResult {
-    let mut cur = vec![0u8; bw * bh];
-    current.copy_block_clamped(x as isize, y as isize, bw, bh, &mut cur);
+    let mut scratch = MotionScratch::new();
+    search_scratch(
+        reference, current, x, y, bw, bh, predictor, params, stats, &mut scratch,
+    )
+}
+
+/// [`search`] with caller-provided scratch buffers (zero allocations).
+///
+/// Candidate SADs use [`Plane::sad_block_thresholded`] with the
+/// best-so-far as the threshold: a candidate that cannot win is
+/// abandoned row-by-row. Because a pruned candidate's partial sum is
+/// `>= best_sad`, every `sad < best_sad` comparison — and therefore the
+/// returned vector and SAD — is identical to the unthresholded search.
+/// Metering policy: `sad_pixels`/`ref_bytes_read` keep charging the
+/// full `bw * bh` per candidate (the device timing charge a hardware
+/// SAD array would burn), while `sad_pixels_examined` records the
+/// pixels the host actually touched.
+#[allow(clippy::too_many_arguments)]
+pub fn search_scratch(
+    reference: &Plane,
+    current: &Plane,
+    x: usize,
+    y: usize,
+    bw: usize,
+    bh: usize,
+    predictor: MotionVector,
+    params: &SearchParams,
+    stats: &mut CodingStats,
+    scratch: &mut MotionScratch,
+) -> SearchResult {
+    let MotionScratch { cur, buf } = scratch;
+    cur.clear();
+    cur.resize(bw * bh, 0);
+    current.copy_block_clamped(x as isize, y as isize, bw, bh, cur);
+    let cur: &[u8] = cur;
 
     let clamp_mv = |v: i16| v.clamp(-params.max_range, params.max_range);
-    let eval_full = |mx: i16, my: i16, stats: &mut CodingStats| -> u64 {
+    let eval_full = |mx: i16, my: i16, threshold: u64, stats: &mut CodingStats| -> u64 {
         stats.sad_pixels += (bw * bh) as u64;
         stats.ref_bytes_read += (bw * bh) as u64;
-        reference.sad_block(x as isize + mx as isize, y as isize + my as isize, bw, bh, &cur)
+        let (sad, examined) = reference.sad_block_thresholded(
+            x as isize + mx as isize,
+            y as isize + my as isize,
+            bw,
+            bh,
+            cur,
+            threshold,
+        );
+        stats.sad_pixels_examined += examined;
+        sad
     };
 
     // Seed with zero and predictor (full-pel part).
     let mut best = (0i16, 0i16);
-    let mut best_sad = eval_full(0, 0, stats);
+    let mut best_sad = eval_full(0, 0, u64::MAX, stats);
     let pred = (clamp_mv(predictor.x / 2), clamp_mv(predictor.y / 2));
     if pred != (0, 0) {
-        let s = eval_full(pred.0, pred.1, stats);
+        let s = eval_full(pred.0, pred.1, best_sad, stats);
         if s < best_sad {
             best_sad = s;
             best = pred;
@@ -151,7 +206,7 @@ pub fn search(
             if cand == best {
                 continue;
             }
-            let s = eval_full(cand.0, cand.1, stats);
+            let s = eval_full(cand.0, cand.1, best_sad, stats);
             if s < best_sad {
                 best_sad = s;
                 best = cand;
@@ -173,7 +228,7 @@ pub fn search(
         for dy in -r..=r {
             for dx in -r..=r {
                 let cand = (clamp_mv(best.0 + dx), clamp_mv(best.1 + dy));
-                let s = eval_full(cand.0, cand.1, stats);
+                let s = eval_full(cand.0, cand.1, best_sad, stats);
                 if s < best_sad {
                     best_sad = s;
                     best = cand;
@@ -184,23 +239,36 @@ pub fn search(
 
     let mut best_mv = MotionVector::full_pel(best.0, best.1);
 
-    // Half-pel refinement.
+    // Half-pel refinement. The interpolated candidate lives in the
+    // scratch buffer; its SAD early-exits row-by-row against the
+    // best-so-far with the same pruning-preserves-decisions argument
+    // as the full-pel candidates.
     if params.half_pel {
-        let mut buf = vec![0u8; bw * bh];
+        buf.clear();
+        buf.resize(bw * bh, 0);
         for dy in -1i16..=1 {
             for dx in -1i16..=1 {
                 if dx == 0 && dy == 0 {
                     continue;
                 }
                 let cand = MotionVector::new(best_mv.x + dx, best_mv.y + dy);
-                mc_block(reference, x, y, cand, bw, bh, &mut buf);
+                mc_block(reference, x, y, cand, bw, bh, buf);
                 stats.sad_pixels += (bw * bh) as u64;
                 stats.ref_bytes_read += (bw * bh * 2) as u64; // subpel taps
-                let s: u64 = buf
-                    .iter()
-                    .zip(&cur)
-                    .map(|(a, b)| (*a as i32 - *b as i32).unsigned_abs() as u64)
-                    .sum();
+                let mut s = 0u64;
+                let mut examined = 0u64;
+                for (brow, crow) in buf.chunks_exact(bw).zip(cur.chunks_exact(bw)) {
+                    let mut acc = 0u64;
+                    for (a, b) in brow.iter().zip(crow) {
+                        acc += (*a as i32 - *b as i32).unsigned_abs() as u64;
+                    }
+                    s += acc;
+                    examined += bw as u64;
+                    if s >= best_sad {
+                        break;
+                    }
+                }
+                stats.sad_pixels_examined += examined;
                 if s < best_sad {
                     best_sad = s;
                     best_mv = cand;

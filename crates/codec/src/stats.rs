@@ -6,7 +6,7 @@
 //! every device model in Table 1, rather than each device getting its
 //! own hand-waved constant.
 
-use std::ops::{Add, AddAssign};
+use std::ops::{Add, AddAssign, Sub};
 
 /// Operation counts accumulated while coding.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,8 +16,17 @@ pub struct CodingStats {
     /// Frames coded.
     pub frames: u64,
     /// SAD operations, in pixel-difference units (block pixels summed
-    /// per SAD evaluation) — the motion-estimation work metric.
+    /// per SAD evaluation) — the motion-estimation work metric. This is
+    /// the *device timing charge*: a hardware SAD array evaluates the
+    /// whole block regardless of early exit, so every candidate is
+    /// billed at full `bw * bh` and the chip model's calibration is
+    /// independent of host-side search optimizations.
     pub sad_pixels: u64,
+    /// SAD pixels actually examined by the host implementation after
+    /// early-exit thresholding — the honest CPU-side work metric. Always
+    /// `<= sad_pixels`; excluded from [`CodingStats::work_units`] so the
+    /// device models keep billing the fixed-function cost above.
+    pub sad_pixels_examined: u64,
     /// Pixels run through forward+inverse transform pairs.
     pub transform_pixels: u64,
     /// Pixels fetched by motion compensation (including subpel taps).
@@ -81,6 +90,7 @@ impl Add for CodingStats {
             pixels: self.pixels + rhs.pixels,
             frames: self.frames + rhs.frames,
             sad_pixels: self.sad_pixels + rhs.sad_pixels,
+            sad_pixels_examined: self.sad_pixels_examined + rhs.sad_pixels_examined,
             transform_pixels: self.transform_pixels + rhs.transform_pixels,
             mc_pixels: self.mc_pixels + rhs.mc_pixels,
             intra_pixels: self.intra_pixels + rhs.intra_pixels,
@@ -97,6 +107,31 @@ impl Add for CodingStats {
 impl AddAssign for CodingStats {
     fn add_assign(&mut self, rhs: CodingStats) {
         *self = *self + rhs;
+    }
+}
+
+impl Sub for CodingStats {
+    type Output = CodingStats;
+
+    /// Componentwise difference — used to capture the exact metering
+    /// delta of a unit of work (e.g. one motion search) so a cached
+    /// result can replay the identical charge.
+    fn sub(self, rhs: CodingStats) -> CodingStats {
+        CodingStats {
+            pixels: self.pixels - rhs.pixels,
+            frames: self.frames - rhs.frames,
+            sad_pixels: self.sad_pixels - rhs.sad_pixels,
+            sad_pixels_examined: self.sad_pixels_examined - rhs.sad_pixels_examined,
+            transform_pixels: self.transform_pixels - rhs.transform_pixels,
+            mc_pixels: self.mc_pixels - rhs.mc_pixels,
+            intra_pixels: self.intra_pixels - rhs.intra_pixels,
+            temporal_filter_pixels: self.temporal_filter_pixels - rhs.temporal_filter_pixels,
+            deblock_pixels: self.deblock_pixels - rhs.deblock_pixels,
+            bits: self.bits - rhs.bits,
+            intra_blocks: self.intra_blocks - rhs.intra_blocks,
+            inter_blocks: self.inter_blocks - rhs.inter_blocks,
+            ref_bytes_read: self.ref_bytes_read - rhs.ref_bytes_read,
+        }
     }
 }
 
@@ -150,6 +185,32 @@ mod tests {
         let mut b = a;
         b.transform_pixels = 500;
         assert!(b.work_units() > a.work_units());
+    }
+
+    #[test]
+    fn sub_inverts_add() {
+        let a = CodingStats {
+            sad_pixels: 100,
+            sad_pixels_examined: 60,
+            bits: 40,
+            ..CodingStats::new()
+        };
+        let b = CodingStats {
+            sad_pixels: 30,
+            sad_pixels_examined: 12,
+            bits: 8,
+            ..CodingStats::new()
+        };
+        assert_eq!((a + b) - b, a);
+    }
+
+    #[test]
+    fn examined_pixels_do_not_change_device_billing() {
+        let mut a = CodingStats::new();
+        a.sad_pixels = 1000;
+        let w = a.work_units();
+        a.sad_pixels_examined = 400;
+        assert_eq!(a.work_units(), w, "early-exit metering must not move device charges");
     }
 
     #[test]

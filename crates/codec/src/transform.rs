@@ -42,32 +42,92 @@ fn basis(n: usize) -> &'static [f64] {
     }
 }
 
+/// Transpose of [`basis`], cached per size: `basis_t(n)[i*n+k] ==
+/// basis(n)[k*n+i]`. Lets both inverse passes walk contiguous rows.
+fn basis_t(n: usize) -> &'static [f64] {
+    static BASES_T: OnceLock<[Vec<f64>; 4]> = OnceLock::new();
+    let all = BASES_T.get_or_init(|| {
+        let make = |n: usize| {
+            let b = basis(n);
+            let mut m = vec![0.0f64; n * n];
+            for k in 0..n {
+                for i in 0..n {
+                    m[i * n + k] = b[k * n + i];
+                }
+            }
+            m
+        };
+        [make(4), make(8), make(16), make(32)]
+    });
+    match n {
+        4 => &all[0],
+        8 => &all[1],
+        16 => &all[2],
+        32 => &all[3],
+        _ => panic!("unsupported transform size {n}"),
+    }
+}
+
+/// Reusable intermediates for [`forward_with`]/[`inverse_with`], so the
+/// per-tile transform does not heap-allocate. Buffers grow to the
+/// largest size used and are reused across calls.
+#[derive(Debug, Default)]
+pub struct TxScratch {
+    t0: Vec<f64>,
+    t1: Vec<f64>,
+}
+
+impl TxScratch {
+    /// An empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Forward 2-D DCT of an `n x n` residual block (row-major).
 ///
 /// # Panics
 ///
 /// Panics if `n` is not one of [`TX_SIZES`] or `residual.len() != n*n`.
 pub fn forward(residual: &[i16], n: usize, out: &mut [f64]) {
+    forward_with(residual, n, out, &mut TxScratch::new());
+}
+
+/// [`forward`] with caller-provided scratch. Both passes run as
+/// contiguous dot products over a transposed intermediate; each
+/// output coefficient accumulates in the same index order as the
+/// naive formulation, so results are bit-identical.
+pub fn forward_with(residual: &[i16], n: usize, out: &mut [f64], scratch: &mut TxScratch) {
     assert_eq!(residual.len(), n * n, "residual size mismatch");
     assert_eq!(out.len(), n * n, "output size mismatch");
     let b = basis(n);
-    // tmp = B * X (transform columns of rows first: rows pass)
-    let mut tmp = vec![0.0f64; n * n];
-    for k in 0..n {
-        for y in 0..n {
+    let TxScratch { t0, t1 } = scratch;
+    // Widen the residual once (n^2 conversions instead of n^3).
+    t1.clear();
+    t1.extend(residual.iter().map(|&r| r as f64));
+    let rf: &[f64] = t1;
+    // tt = (B * X)^T: tt[k*n+y] = sum_i b[k*n+i] * x[y*n+i].
+    t0.clear();
+    t0.resize(n * n, 0.0);
+    for y in 0..n {
+        let row = &rf[y * n..(y + 1) * n];
+        for k in 0..n {
+            let brow = &b[k * n..(k + 1) * n];
             let mut acc = 0.0;
             for i in 0..n {
-                acc += b[k * n + i] * residual[y * n + i] as f64;
+                acc += brow[i] * row[i];
             }
-            tmp[y * n + k] = acc;
+            t0[k * n + y] = acc;
         }
     }
-    // out = B * tmp (columns pass)
+    // out = B * tt^T: out[k*n+x] = sum_i b[k*n+i] * tt[x*n+i].
     for k in 0..n {
+        let brow = &b[k * n..(k + 1) * n];
         for x in 0..n {
+            let trow = &t0[x * n..(x + 1) * n];
             let mut acc = 0.0;
             for i in 0..n {
-                acc += b[k * n + i] * tmp[i * n + x];
+                acc += brow[i] * trow[i];
             }
             out[k * n + x] = acc;
         }
@@ -80,26 +140,48 @@ pub fn forward(residual: &[i16], n: usize, out: &mut [f64]) {
 ///
 /// Panics if `n` is not one of [`TX_SIZES`] or sizes mismatch.
 pub fn inverse(coeffs: &[f64], n: usize, out: &mut [i16]) {
+    inverse_with(coeffs, n, out, &mut TxScratch::new());
+}
+
+/// [`inverse`] with caller-provided scratch. Transposes the coefficient
+/// block once so both passes are contiguous; per-output accumulation
+/// order matches the naive formulation, keeping reconstruction
+/// bit-exact with the encoder-side reference path.
+pub fn inverse_with(coeffs: &[f64], n: usize, out: &mut [i16], scratch: &mut TxScratch) {
     assert_eq!(coeffs.len(), n * n, "coeff size mismatch");
     assert_eq!(out.len(), n * n, "output size mismatch");
-    let b = basis(n);
-    // tmp = B^T * C (columns)
-    let mut tmp = vec![0.0f64; n * n];
-    for y in 0..n {
+    let bt = basis_t(n);
+    let TxScratch { t0, t1 } = scratch;
+    // ct = C^T so the column pass reads rows.
+    t1.clear();
+    t1.resize(n * n, 0.0);
+    for k in 0..n {
         for x in 0..n {
-            let mut acc = 0.0;
-            for k in 0..n {
-                acc += b[k * n + y] * coeffs[k * n + x];
-            }
-            tmp[y * n + x] = acc;
+            t1[x * n + k] = coeffs[k * n + x];
         }
     }
-    // out = tmp * B (rows)
+    // tmp = B^T * C: tmp[y*n+x] = sum_k bt[y*n+k] * ct[x*n+k].
+    t0.clear();
+    t0.resize(n * n, 0.0);
     for y in 0..n {
+        let btrow = &bt[y * n..(y + 1) * n];
         for x in 0..n {
+            let crow = &t1[x * n..(x + 1) * n];
             let mut acc = 0.0;
             for k in 0..n {
-                acc += tmp[y * n + k] * b[k * n + x];
+                acc += btrow[k] * crow[k];
+            }
+            t0[y * n + x] = acc;
+        }
+    }
+    // out = tmp * B: out[y*n+x] = sum_k tmp[y*n+k] * bt[x*n+k].
+    for y in 0..n {
+        let trow = &t0[y * n..(y + 1) * n];
+        for x in 0..n {
+            let btrow = &bt[x * n..(x + 1) * n];
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += trow[k] * btrow[k];
             }
             out[y * n + x] = acc.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
         }
@@ -221,5 +303,70 @@ mod tests {
     fn bad_size_panics() {
         let mut out = vec![0.0; 9];
         forward(&[0i16; 9], 3, &mut out);
+    }
+
+    /// The contiguous-pass implementation must be *bit*-identical to
+    /// the naive triple loop, not just close: recon bitstreams hash
+    /// these outputs.
+    #[test]
+    fn fast_path_bit_identical_to_naive() {
+        let mut scratch = TxScratch::new();
+        for &n in &TX_SIZES {
+            let residual: Vec<i16> = (0..n * n)
+                .map(|i| (((i * 97 + 31) % 511) as i16) - 255)
+                .collect();
+            let b = basis(n);
+            // Naive forward.
+            let mut tmp = vec![0.0f64; n * n];
+            for k in 0..n {
+                for y in 0..n {
+                    let mut acc = 0.0;
+                    for i in 0..n {
+                        acc += b[k * n + i] * residual[y * n + i] as f64;
+                    }
+                    tmp[y * n + k] = acc;
+                }
+            }
+            let mut naive_f = vec![0.0f64; n * n];
+            for k in 0..n {
+                for x in 0..n {
+                    let mut acc = 0.0;
+                    for i in 0..n {
+                        acc += b[k * n + i] * tmp[i * n + x];
+                    }
+                    naive_f[k * n + x] = acc;
+                }
+            }
+            let mut fast_f = vec![0.0f64; n * n];
+            forward_with(&residual, n, &mut fast_f, &mut scratch);
+            for (a, c) in naive_f.iter().zip(&fast_f) {
+                assert_eq!(a.to_bits(), c.to_bits(), "forward diverged for n={n}");
+            }
+            // Naive inverse.
+            let mut tmp2 = vec![0.0f64; n * n];
+            for y in 0..n {
+                for x in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += b[k * n + y] * naive_f[k * n + x];
+                    }
+                    tmp2[y * n + x] = acc;
+                }
+            }
+            let mut naive_i = vec![0i16; n * n];
+            for y in 0..n {
+                for x in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        acc += tmp2[y * n + k] * b[k * n + x];
+                    }
+                    naive_i[y * n + x] =
+                        acc.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+                }
+            }
+            let mut fast_i = vec![0i16; n * n];
+            inverse_with(&fast_f, n, &mut fast_i, &mut scratch);
+            assert_eq!(naive_i, fast_i, "inverse diverged for n={n}");
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! results into playable videos" (§2.2). Chunk boundaries land on
 //! keyframes, so each chunk decodes independently.
 
-use vcu_codec::{encode, CodecError, EncoderConfig, FrameKind};
+use vcu_codec::{encode_batch, CodecError, EncoderConfig, FrameKind};
 use vcu_media::Video;
 
 /// A chunk boundary plan for a video of a given length.
@@ -73,7 +73,9 @@ pub fn split(video: &Video, plan: &ChunkPlan) -> Vec<Video> {
 
 /// Encodes every chunk independently (each chunk starts with its own
 /// keyframe because the encoder always keys frame 0) and returns the
-/// per-chunk containers.
+/// per-chunk containers. Chunks fan out across `cfg.threads` worker
+/// threads; results are in chunk order and byte-identical for every
+/// thread count.
 ///
 /// # Errors
 ///
@@ -82,7 +84,7 @@ pub fn encode_chunks(
     cfg: &EncoderConfig,
     chunks: &[Video],
 ) -> Result<Vec<vcu_codec::Encoded>, CodecError> {
-    chunks.iter().map(|c| encode(cfg, c)).collect()
+    encode_batch(cfg, chunks)
 }
 
 /// Reassembles decoded chunks into one video and runs the §4.4

@@ -227,6 +227,68 @@ impl Plane {
         sad
     }
 
+    /// Early-exit variant of [`Plane::sad_block`]: accumulates the SAD
+    /// row by row and stops as soon as the running sum reaches
+    /// `threshold`, returning `(sad, pixels_examined)`.
+    ///
+    /// Contract: if the returned SAD is `< threshold` it is the exact
+    /// full-block SAD; otherwise it is a partial sum that is `>=
+    /// threshold` (and therefore `>=` any best-so-far the caller is
+    /// comparing against, so `sad < threshold` decisions are identical
+    /// to the unthresholded kernel). `pixels_examined` counts the
+    /// pixels actually read — the honest CPU-side work metric, as
+    /// opposed to the fixed `bw * bh` a hardware SAD array would burn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.len() != bw * bh`.
+    pub fn sad_block_thresholded(
+        &self,
+        x: isize,
+        y: isize,
+        bw: usize,
+        bh: usize,
+        other: &[u8],
+        threshold: u64,
+    ) -> (u64, u64) {
+        assert_eq!(other.len(), bw * bh, "block length mismatch");
+        let mut sad = 0u64;
+        let mut examined = 0u64;
+        let in_bounds =
+            x >= 0 && y >= 0 && (x as usize) + bw <= self.width && (y as usize) + bh <= self.height;
+        if in_bounds {
+            let (x, y) = (x as usize, y as usize);
+            for by in 0..bh {
+                let row = &self.data[(y + by) * self.width + x..(y + by) * self.width + x + bw];
+                let oth = &other[by * bw..(by + 1) * bw];
+                let mut acc = 0u64;
+                for (a, b) in row.iter().zip(oth) {
+                    acc += (*a as i32 - *b as i32).unsigned_abs() as u64;
+                }
+                sad += acc;
+                examined += bw as u64;
+                if sad >= threshold {
+                    return (sad, examined);
+                }
+            }
+        } else {
+            for by in 0..bh {
+                let mut acc = 0u64;
+                for bx in 0..bw {
+                    let a = self.get_clamped(x + bx as isize, y + by as isize) as i32;
+                    let b = other[by * bw + bx] as i32;
+                    acc += (a - b).unsigned_abs() as u64;
+                }
+                sad += acc;
+                examined += bw as u64;
+                if sad >= threshold {
+                    return (sad, examined);
+                }
+            }
+        }
+        (sad, examined)
+    }
+
     /// Sum of squared errors against another plane of identical size.
     ///
     /// # Panics
@@ -253,6 +315,108 @@ impl Plane {
     /// Mean pixel value as a float (useful for DC statistics).
     pub fn mean(&self) -> f64 {
         self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Fetches a `bw x bh` block at half-pel precision using a
+    /// fixed-point integer bilinear kernel. `(x, y)` is the full-pel
+    /// top-left corner; `fx`/`fy` are half-pel fraction numerators
+    /// (0 or 1, i.e. offsets of 0 or 0.5 pixels). Pixels outside the
+    /// plane are edge-clamped.
+    ///
+    /// The integer taps — `(a + b + 1) >> 1` for the 2-tap averages
+    /// and `(p00 + p10 + p01 + p11 + 2) >> 2` for the 4-tap corner —
+    /// reproduce [`Plane::sample_bilinear`]'s f64 lerp + `round()`
+    /// byte-for-byte over the entire u8 domain at half-pel offsets
+    /// (round-half-away-from-zero equals round-half-up on non-negative
+    /// values), so motion compensation can use this kernel without
+    /// perturbing a single bit of the bitstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst.len() != bw * bh` or `fx`/`fy` exceed 1.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_block_hpel(
+        &self,
+        x: isize,
+        y: isize,
+        fx: u8,
+        fy: u8,
+        bw: usize,
+        bh: usize,
+        dst: &mut [u8],
+    ) {
+        assert_eq!(dst.len(), bw * bh, "destination length mismatch");
+        assert!(fx <= 1 && fy <= 1, "fractions are half-pel numerators");
+        if fx == 0 && fy == 0 {
+            self.copy_block_clamped(x, y, bw, bh, dst);
+            return;
+        }
+        let need_w = bw + fx as usize;
+        let need_h = bh + fy as usize;
+        let interior = x >= 0
+            && y >= 0
+            && (x as usize) + need_w <= self.width
+            && (y as usize) + need_h <= self.height;
+        if interior {
+            let (x, y) = (x as usize, y as usize);
+            match (fx, fy) {
+                (1, 0) => {
+                    for by in 0..bh {
+                        let base = (y + by) * self.width + x;
+                        let row = &self.data[base..base + bw + 1];
+                        let out = &mut dst[by * bw..(by + 1) * bw];
+                        for (o, w) in out.iter_mut().zip(row.windows(2)) {
+                            *o = ((w[0] as u16 + w[1] as u16 + 1) >> 1) as u8;
+                        }
+                    }
+                }
+                (0, 1) => {
+                    for by in 0..bh {
+                        let base = (y + by) * self.width + x;
+                        let r0 = &self.data[base..base + bw];
+                        let r1 = &self.data[base + self.width..base + self.width + bw];
+                        let out = &mut dst[by * bw..(by + 1) * bw];
+                        for ((o, a), b) in out.iter_mut().zip(r0).zip(r1) {
+                            *o = ((*a as u16 + *b as u16 + 1) >> 1) as u8;
+                        }
+                    }
+                }
+                _ => {
+                    for by in 0..bh {
+                        let base = (y + by) * self.width + x;
+                        let r0 = &self.data[base..base + bw + 1];
+                        let r1 = &self.data[base + self.width..base + self.width + bw + 1];
+                        let out = &mut dst[by * bw..(by + 1) * bw];
+                        for (i, o) in out.iter_mut().enumerate() {
+                            let s = r0[i] as u16
+                                + r0[i + 1] as u16
+                                + r1[i] as u16
+                                + r1[i + 1] as u16;
+                            *o = ((s + 2) >> 2) as u8;
+                        }
+                    }
+                }
+            }
+        } else {
+            for by in 0..bh {
+                for bx in 0..bw {
+                    let px = x + bx as isize;
+                    let py = y + by as isize;
+                    let p00 = self.get_clamped(px, py) as u16;
+                    dst[by * bw + bx] = match (fx, fy) {
+                        (1, 0) => ((p00 + self.get_clamped(px + 1, py) as u16 + 1) >> 1) as u8,
+                        (0, 1) => ((p00 + self.get_clamped(px, py + 1) as u16 + 1) >> 1) as u8,
+                        _ => {
+                            let s = p00
+                                + self.get_clamped(px + 1, py) as u16
+                                + self.get_clamped(px, py + 1) as u16
+                                + self.get_clamped(px + 1, py + 1) as u16;
+                            ((s + 2) >> 2) as u8
+                        }
+                    };
+                }
+            }
+        }
     }
 
     /// Bilinearly samples the plane at fractional coordinates, with
@@ -367,6 +531,108 @@ mod tests {
         p.set(0, 0, 0);
         p.set(1, 0, 100);
         assert_eq!(p.sample_bilinear(0.5, 0.0), 50);
+    }
+
+    #[test]
+    fn hpel_two_tap_matches_f64_exhaustively() {
+        // Every (a, b) pair of u8 values through the horizontal and
+        // vertical 2-tap kernels must equal the f64 bilinear path.
+        for a in 0..=255u16 {
+            for b in 0..=255u16 {
+                let mut ph = Plane::new(2, 1);
+                ph.set(0, 0, a as u8);
+                ph.set(1, 0, b as u8);
+                let mut out = [0u8];
+                ph.copy_block_hpel(0, 0, 1, 0, 1, 1, &mut out);
+                assert_eq!(out[0], ph.sample_bilinear(0.5, 0.0), "h {a},{b}");
+                let mut pv = Plane::new(1, 2);
+                pv.set(0, 0, a as u8);
+                pv.set(0, 1, b as u8);
+                pv.copy_block_hpel(0, 0, 0, 1, 1, 1, &mut out);
+                assert_eq!(out[0], pv.sample_bilinear(0.0, 0.5), "v {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn hpel_four_tap_matches_f64_over_sum_domain() {
+        // The 4-tap corner only depends on the pixel sum; sweep every
+        // reachable sum (0..=1020) with a generator hitting all
+        // residues mod 4, plus a pseudo-random quad sweep.
+        for s in 0..=1020u16 {
+            let q = [
+                (s / 4) as u8,
+                ((s + 1) / 4) as u8,
+                ((s + 2) / 4) as u8,
+                s.div_ceil(4) as u8,
+            ];
+            assert_eq!(q.iter().map(|&v| v as u16).sum::<u16>(), s);
+            let p = Plane::from_data(2, 2, q.to_vec());
+            let mut out = [0u8];
+            p.copy_block_hpel(0, 0, 1, 1, 1, 1, &mut out);
+            assert_eq!(out[0], p.sample_bilinear(0.5, 0.5), "sum {s}");
+        }
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..4096 {
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            };
+            let q = [next(), next(), next(), next()];
+            let p = Plane::from_data(2, 2, q.to_vec());
+            let mut out = [0u8];
+            p.copy_block_hpel(0, 0, 1, 1, 1, 1, &mut out);
+            assert_eq!(out[0], p.sample_bilinear(0.5, 0.5), "quad {q:?}");
+        }
+    }
+
+    #[test]
+    fn hpel_edge_clamped_matches_f64() {
+        let p = Plane::from_fn(8, 8, |x, y| ((x * 31 + y * 17) % 256) as u8);
+        let mut got = vec![0u8; 16];
+        let mut want = vec![0u8; 16];
+        for (x0, y0) in [(-2isize, -1isize), (5, 6), (-1, 5), (7, 7)] {
+            for (fx, fy) in [(1u8, 0u8), (0, 1), (1, 1)] {
+                p.copy_block_hpel(x0, y0, fx, fy, 4, 4, &mut got);
+                for by in 0..4 {
+                    for bx in 0..4 {
+                        want[by * 4 + bx] = p.sample_bilinear(
+                            x0 as f64 + fx as f64 / 2.0 + bx as f64,
+                            y0 as f64 + fy as f64 / 2.0 + by as f64,
+                        );
+                    }
+                }
+                assert_eq!(got, want, "at ({x0},{y0}) frac ({fx},{fy})");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholded_sad_exact_below_threshold() {
+        let p = Plane::from_fn(8, 8, |x, y| (x * 8 + y) as u8);
+        let mut blk = vec![0u8; 16];
+        p.copy_block_clamped(2, 2, 4, 4, &mut blk);
+        blk[0] = blk[0].wrapping_add(10);
+        let full = p.sad_block(2, 2, 4, 4, &blk);
+        let (sad, examined) = p.sad_block_thresholded(2, 2, 4, 4, &blk, u64::MAX);
+        assert_eq!(sad, full);
+        assert_eq!(examined, 16);
+        // Same at a clamped (out-of-bounds) position.
+        let full_edge = p.sad_block(-2, -2, 4, 4, &blk);
+        let (sad_edge, _) = p.sad_block_thresholded(-2, -2, 4, 4, &blk, u64::MAX);
+        assert_eq!(sad_edge, full_edge);
+    }
+
+    #[test]
+    fn thresholded_sad_early_exits() {
+        let p = Plane::from_fn(8, 8, |_, _| 200);
+        let blk = vec![0u8; 64]; // SAD 200 per pixel
+        let (sad, examined) = p.sad_block_thresholded(0, 0, 8, 8, &blk, 1);
+        assert!(sad >= 1);
+        assert_eq!(examined, 8, "one row should be enough to cross threshold 1");
+        let (sad2, examined2) = p.sad_block_thresholded(0, 0, 8, 8, &blk, u64::MAX);
+        assert_eq!(sad2, p.sad_block(0, 0, 8, 8, &blk));
+        assert_eq!(examined2, 64);
     }
 
     #[test]

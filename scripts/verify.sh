@@ -33,4 +33,21 @@ echo "==> bench_cluster_scale smoke run"
 VCU_BENCH_SMOKE=1 cargo run -q -p vcu-bench --release --offline --bin bench_cluster_scale \
     | tail -n 2
 
+# Smoke-run the codec microbenches (quick mode, temp-dir JSON). This
+# exercises every bench row including the chunk-parallel encode ones,
+# whose built-in assert pins thread-count byte-identity.
+echo "==> bench codec smoke run"
+VCU_BENCH_SMOKE=1 cargo bench -q -p vcu-bench --offline --bench codec \
+    | tail -n 2
+
+# The determinism suite must hold at any thread count: run it once
+# sequential and once with 4 encode workers. Byte-identical bitstreams
+# and telemetry snapshots are asserted inside the tests.
+echo "==> determinism suite at VCU_THREADS=1 and VCU_THREADS=4"
+for t in 1 4; do
+    echo "--> VCU_THREADS=$t"
+    VCU_THREADS=$t cargo test -q -p vcu-system --offline --test determinism \
+        | tail -n 2
+done
+
 echo "tier-1 verify: OK"

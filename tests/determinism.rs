@@ -218,6 +218,39 @@ fn warehouse_scale_run_is_byte_identical() {
 }
 
 #[test]
+fn chunk_parallel_encode_honors_vcu_threads_deterministically() {
+    // The verify script runs this suite under VCU_THREADS=1 and
+    // VCU_THREADS=4: whatever the knob says, chunk-parallel encoding
+    // and its telemetry snapshot must be byte-identical. The encoder is
+    // the one pipeline stage with real thread parallelism, so this is
+    // where scheduling nondeterminism would leak in if it could.
+    use vcu_codec::{encode_parallel_traced, env_threads, EncoderConfig, Qp};
+    use vcu_media::synth::{ContentClass, SynthSpec};
+    use vcu_media::Resolution;
+
+    let threads = env_threads();
+    let video = SynthSpec::new(Resolution::R144, 8, ContentClass::ugc(), 42).generate();
+    let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32)).with_threads(threads);
+    let encode_once = || {
+        let reg = Registry::new();
+        let e = encode_parallel_traced(&cfg, &video, 3, &reg).expect("encode");
+        (e, reg.snapshot_json(&[("threads", &threads.to_string())]))
+    };
+    let (a, snap_a) = encode_once();
+    let (b, snap_b) = encode_once();
+    assert_eq!(a.bytes, b.bytes, "same-seed encodes must be byte-identical");
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(snap_a, snap_b, "telemetry snapshots must be byte-identical");
+    // The bitstream is also invariant across thread counts, not just
+    // across runs: pin against a single-threaded reference encode.
+    let seq = vcu_codec::encode_parallel(&cfg.with_threads(1), &video, 3).expect("t1");
+    assert_eq!(a.bytes, seq.bytes, "VCU_THREADS={threads} changed the bitstream");
+    // The snapshot is substantive: chunk spans and counters landed.
+    assert!(snap_a.contains("codec.chunk.encode"));
+    assert!(snap_a.contains("\"codec.chunks\""));
+}
+
+#[test]
 fn traffic_generation_is_deterministic() {
     let a = UploadTraffic::new(3.0, 7).generate(200.0);
     let b = UploadTraffic::new(3.0, 7).generate(200.0);

@@ -1,0 +1,124 @@
+//! Golden bitstream pins: byte-level encoder regression tests.
+//!
+//! Every row asserts the container length, an FNV-1a 64 hash of the
+//! full container, and the headline work-metering counters for one
+//! (content class, configuration) pair. The values were captured from
+//! the allocation-heavy reference implementation; the zero-alloc
+//! kernels, the early-exit SAD, the fast transform path, and the
+//! search-result cache are all required to reproduce them exactly.
+//! A deliberate behavior change must re-capture these constants and
+//! say so in the commit message.
+
+use vcu_codec::{encode, CodingStats, EncoderConfig, Profile, Qp, TuningLevel};
+use vcu_media::synth::{ContentClass, SynthSpec};
+use vcu_media::{Resolution, Video};
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// One pinned encode: (config name, container bytes, container hash,
+/// sad_pixels, transform_pixels, mc_pixels, bits).
+struct Golden {
+    config: &'static str,
+    bytes: usize,
+    hash: u64,
+    sad: u64,
+    tx: u64,
+    mc: u64,
+    bits: u64,
+}
+
+fn clip(content: &str) -> Video {
+    let (class, seed) = match content {
+        "ugc" => (ContentClass::ugc(), 13),
+        "talking_head" => (ContentClass::talking_head(), 5),
+        "high_motion" => (ContentClass::high_motion(), 77),
+        other => panic!("unknown content class {other}"),
+    };
+    SynthSpec::new(Resolution::R144, 8, class, seed).generate()
+}
+
+fn config(name: &str) -> EncoderConfig {
+    let qp = Qp::new(30);
+    match name {
+        "h264_sw" => EncoderConfig::const_qp(Profile::H264Sim, qp),
+        "vp9_sw" => EncoderConfig::const_qp(Profile::Vp9Sim, qp),
+        "vp9_hw_launch" => {
+            EncoderConfig::const_qp(Profile::Vp9Sim, qp).with_hardware(TuningLevel::LAUNCH)
+        }
+        "vp9_hw_mature" => {
+            EncoderConfig::const_qp(Profile::Vp9Sim, qp).with_hardware(TuningLevel::MATURE)
+        }
+        other => panic!("unknown config {other}"),
+    }
+}
+
+fn check(content: &str, rows: &[Golden]) {
+    let v = clip(content);
+    for g in rows {
+        let e = encode(&config(g.config), &v).unwrap();
+        let ctx = format!("{content}/{}", g.config);
+        assert_eq!(e.bytes.len(), g.bytes, "{ctx}: container size drifted");
+        assert_eq!(
+            fnv1a64(&e.bytes),
+            g.hash,
+            "{ctx}: bitstream bytes drifted (size matches — content differs)"
+        );
+        let CodingStats {
+            sad_pixels,
+            transform_pixels,
+            mc_pixels,
+            bits,
+            ..
+        } = e.stats;
+        assert_eq!(sad_pixels, g.sad, "{ctx}: sad_pixels (device billing) drifted");
+        assert_eq!(transform_pixels, g.tx, "{ctx}: transform_pixels drifted");
+        assert_eq!(mc_pixels, g.mc, "{ctx}: mc_pixels drifted");
+        assert_eq!(bits, g.bits, "{ctx}: coded bits drifted");
+    }
+}
+
+#[test]
+fn golden_ugc() {
+    check(
+        "ugc",
+        &[
+            Golden { config: "h264_sw", bytes: 32528, hash: 0x2C282F5FF95CFC5B, sad: 22054656, tx: 884736, mc: 385920, bits: 259440 },
+            Golden { config: "vp9_sw", bytes: 28572, hash: 0x73CC3ABCE0F5BB4B, sad: 106272768, tx: 995328, mc: 1066752, bits: 227712 },
+            Golden { config: "vp9_hw_launch", bytes: 39494, hash: 0x88A21C590CED0883, sad: 43966464, tx: 884736, mc: 940032, bits: 315168 },
+            Golden { config: "vp9_hw_mature", bytes: 28597, hash: 0x7141C4FFC38C4144, sad: 63219968, tx: 995328, mc: 1064320, bits: 227912 },
+        ],
+    );
+}
+
+#[test]
+fn golden_talking_head() {
+    check(
+        "talking_head",
+        &[
+            Golden { config: "h264_sw", bytes: 8734, hash: 0x3BDC2DC5CC330D54, sad: 20507648, tx: 884736, mc: 387072, bits: 69088 },
+            Golden { config: "vp9_sw", bytes: 10735, hash: 0x1E8353009B44168A, sad: 87413248, tx: 995328, mc: 1056896, bits: 85016 },
+            Golden { config: "vp9_hw_launch", bytes: 16215, hash: 0x62634A479C7713EA, sad: 29301248, tx: 884736, mc: 911616, bits: 128936 },
+            Golden { config: "vp9_hw_mature", bytes: 10735, hash: 0x1E8353009B44168A, sad: 44061184, tx: 995328, mc: 1056896, bits: 85016 },
+        ],
+    );
+}
+
+#[test]
+fn golden_high_motion() {
+    check(
+        "high_motion",
+        &[
+            Golden { config: "h264_sw", bytes: 70917, hash: 0xFC3D768EA209DC8C, sad: 19790592, tx: 884736, mc: 304128, bits: 566552 },
+            Golden { config: "vp9_sw", bytes: 65500, hash: 0x9D391751500D1ED9, sad: 94585600, tx: 884736, mc: 804480, bits: 523216 },
+            Golden { config: "vp9_hw_launch", bytes: 72200, hash: 0x51A38E40CD86B14C, sad: 59500288, tx: 884736, mc: 948864, bits: 576816 },
+            Golden { config: "vp9_hw_mature", bytes: 65605, hash: 0x0C14EC20625ACEEF, sad: 62134528, tx: 884736, mc: 802688, bits: 524056 },
+        ],
+    );
+}

@@ -8,7 +8,7 @@ use vcu_cluster::{PlacementMode, Scheduler, SchedulerKind};
 use vcu_codec::entropy::{
     read_int, read_uint, write_int, write_uint, AdaptiveModel, BoolDecoder, BoolEncoder,
 };
-use vcu_codec::{decode, encode, EncoderConfig, Profile, Qp};
+use vcu_codec::{decode, encode, encode_parallel, CodingStats, EncoderConfig, Profile, Qp};
 use vcu_media::bdrate::{bd_rate, RdPoint};
 use vcu_media::scale::scale_plane;
 use vcu_media::synth::{ContentClass, SynthSpec};
@@ -228,6 +228,140 @@ prop_cases! {
         bytes.extend_from_slice(&payload);
         bytes.extend_from_slice(&h.to_le_bytes());
         let _ = decode(&bytes); // must return, never panic
+    }
+}
+
+prop_cases! {
+    /// The fixed-point half-pel interpolator is the f64 bilinear
+    /// sampler: for any plane, any block geometry (including blocks
+    /// hanging off every edge), and any half-pel phase, every output
+    /// pixel matches `sample_bilinear` at the equivalent fractional
+    /// coordinate.
+    #[cases(256)]
+    fn hpel_integer_matches_f64_reference(rng) {
+        let w = rng.gen_range(1usize..48);
+        let h = rng.gen_range(1usize..48);
+        let p = Plane::from_fn(w, h, |_, _| rng.gen_range(0u32..256) as u8);
+        let x = rng.gen_range(-8isize..w as isize + 8);
+        let y = rng.gen_range(-8isize..h as isize + 8);
+        let (fx, fy) = (rng.gen_range(0u32..2) as u8, rng.gen_range(0u32..2) as u8);
+        let bw = rng.gen_range(1usize..17);
+        let bh = rng.gen_range(1usize..17);
+        let mut dst = vec![0u8; bw * bh];
+        p.copy_block_hpel(x, y, fx, fy, bw, bh, &mut dst);
+        for by in 0..bh {
+            for bx in 0..bw {
+                let want = p.sample_bilinear(
+                    (x + bx as isize) as f64 + fx as f64 * 0.5,
+                    (y + by as isize) as f64 + fy as f64 * 0.5,
+                );
+                assert_eq!(
+                    dst[by * bw + bx], want,
+                    "({bx},{by}) of {bw}x{bh} at ({x},{y}) phase ({fx},{fy})"
+                );
+            }
+        }
+    }
+
+    /// Early-exit SAD picks the same winner as exhaustive SAD: running
+    /// a best-candidate scan with `sad_block_thresholded` (pruned at
+    /// the running best) selects the identical candidate and cost that
+    /// unpruned `sad_block` does.
+    #[cases(256)]
+    fn thresholded_sad_selects_same_winner(rng) {
+        let w = rng.gen_range(8usize..40);
+        let h = rng.gen_range(8usize..40);
+        let p = Plane::from_fn(w, h, |_, _| rng.gen_range(0u32..256) as u8);
+        let bw = rng.gen_range(1usize..9);
+        let bh = rng.gen_range(1usize..9);
+        let cur: Vec<u8> = (0..bw * bh).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let n_cand = rng.gen_range(1usize..20);
+        let cands: Vec<(isize, isize)> = (0..n_cand)
+            .map(|_| (rng.gen_range(-4isize..w as isize), rng.gen_range(-4isize..h as isize)))
+            .collect();
+        let (mut best_ref, mut besti_ref) = (u64::MAX, 0usize);
+        for (i, &(cx, cy)) in cands.iter().enumerate() {
+            let s = p.sad_block(cx, cy, bw, bh, &cur);
+            if s < best_ref {
+                best_ref = s;
+                besti_ref = i;
+            }
+        }
+        let (mut best, mut besti) = (u64::MAX, 0usize);
+        for (i, &(cx, cy)) in cands.iter().enumerate() {
+            let (s, examined) = p.sad_block_thresholded(cx, cy, bw, bh, &cur, best);
+            assert!(examined <= (bw * bh) as u64);
+            if s < best {
+                best = s;
+                besti = i;
+            }
+        }
+        assert_eq!((besti, best), (besti_ref, best_ref), "pruning changed the search winner");
+    }
+
+    /// Merging per-chunk stats is order-independent: the same multiset
+    /// of `CodingStats` sums to the same total regardless of merge
+    /// order, so parallel completion order can never leak into results.
+    #[cases(256)]
+    fn stats_merge_is_order_independent(rng) {
+        let n = rng.gen_range(2usize..12);
+        let mut parts: Vec<CodingStats> = (0..n)
+            .map(|_| {
+                let mut s = CodingStats::new();
+                s.pixels = rng.gen_range(0u64..1 << 40);
+                s.frames = rng.gen_range(0u64..1 << 16);
+                s.sad_pixels = rng.gen_range(0u64..1 << 40);
+                s.sad_pixels_examined = rng.gen_range(0u64..1 << 40);
+                s.transform_pixels = rng.gen_range(0u64..1 << 40);
+                s.mc_pixels = rng.gen_range(0u64..1 << 40);
+                s.intra_pixels = rng.gen_range(0u64..1 << 40);
+                s.temporal_filter_pixels = rng.gen_range(0u64..1 << 40);
+                s.deblock_pixels = rng.gen_range(0u64..1 << 40);
+                s.bits = rng.gen_range(0u64..1 << 40);
+                s.intra_blocks = rng.gen_range(0u64..1 << 32);
+                s.inter_blocks = rng.gen_range(0u64..1 << 32);
+                s.ref_bytes_read = rng.gen_range(0u64..1 << 40);
+                s
+            })
+            .collect();
+        let mut forward = CodingStats::new();
+        for s in &parts {
+            forward += *s;
+        }
+        // Fisher–Yates shuffle, then re-merge.
+        for i in (1..parts.len()).rev() {
+            parts.swap(i, rng.gen_range(0usize..i + 1));
+        }
+        let mut shuffled = CodingStats::new();
+        for s in &parts {
+            shuffled += *s;
+        }
+        assert_eq!(forward, shuffled);
+    }
+}
+
+prop_cases! {
+    /// Chunk-parallel encoding is thread-count invariant: for arbitrary
+    /// content, chunk size, and clip length, 1, 2, and 4 worker threads
+    /// produce byte-identical containers and identical merged stats.
+    #[cases(4)]
+    fn parallel_encode_thread_invariant(rng) {
+        let seed = rng.gen_range(0u64..1000);
+        let frames = rng.gen_range(2usize..7);
+        let chunk = rng.gen_range(1usize..4);
+        let profile = if rng.gen_bool(0.5) { Profile::Vp9Sim } else { Profile::H264Sim };
+        let qp = rng.gen_range(20u8..45);
+        let video = SynthSpec::new(Resolution::R144, frames, ContentClass::ugc(), seed).generate();
+        let base = EncoderConfig::const_qp(profile, Qp::new(qp));
+        let seq = encode_parallel(&base.with_threads(1), &video, chunk).expect("t1 encode");
+        for threads in [2usize, 4] {
+            let par = encode_parallel(&base.with_threads(threads), &video, chunk)
+                .expect("parallel encode");
+            assert_eq!(seq.bytes, par.bytes, "threads={threads} changed the bitstream");
+            assert_eq!(seq.stats, par.stats, "threads={threads} changed merged stats");
+        }
+        // And the spliced stream actually decodes to every frame.
+        assert_eq!(decode(&seq.bytes).expect("decode").video.frames.len(), frames);
     }
 }
 

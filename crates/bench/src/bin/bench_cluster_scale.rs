@@ -24,8 +24,8 @@
 use vcu_bench::timing::{results_path, Harness};
 use vcu_chip::{ResourceDemand, TranscodeJob, VcuModel};
 use vcu_cluster::{
-    ClusterConfig, ClusterReport, ClusterSim, JobSpec, PlacementMode, Priority, SchedulerKind,
-    Scheduler,
+    ClusterConfig, ClusterReport, ClusterSim, JobSpec, PlacementMode, Priority, Scheduler,
+    SchedulerKind,
 };
 use vcu_codec::Profile;
 use vcu_media::Resolution;
@@ -206,11 +206,7 @@ fn main() {
                 );
                 slot.expect("bench ran at least once")
             };
-            assert_eq!(
-                rep.completed + rep.failed,
-                n_jobs,
-                "every job must resolve"
-            );
+            assert_eq!(rep.completed + rep.failed, n_jobs, "every job must resolve");
             reports.push(rep);
         }
         if reports.len() == 2 {

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SuiteScale::Quick
     };
     let clips = suite(scale);
-    println!("Figure 7: RD curves (bitrate kbps @ PSNR dB), {} suite\n", clips.len());
+    println!(
+        "Figure 7: RD curves (bitrate kbps @ PSNR dB), {} suite\n",
+        clips.len()
+    );
 
     let configs: [(&str, EncoderConfig); 4] = [
         (

@@ -21,7 +21,10 @@ fn main() {
 
     println!("\nFigure 9c: hardware decoder utilization; software-decode offload lands month 6");
     println!("(paper: ~98% dropping to ~91% after enabling)\n");
-    println!("{:<7} {:>12} {:>14}", "month", "decode util", "Mpix/s per VCU");
+    println!(
+        "{:<7} {:>12} {:>14}",
+        "month", "decode util", "Mpix/s per VCU"
+    );
     for p in fig9c(12, 6, 9) {
         println!(
             "{:<7} {:>11.1}% {:>14.0}",

@@ -59,11 +59,20 @@ fn run(kind: SchedulerKind) -> (f64, f64) {
 
 fn main() {
     println!("Ablation 1 — work scheduler (§3.3.3): encoder utilization under load\n");
-    println!("{:<28} {:>12} {:>12}", "policy", "encode util", "mean wait s");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "policy", "encode util", "mean wait s"
+    );
     for (name, kind) in [
         ("multi-dim bin packing", SchedulerKind::MultiDim),
-        ("single-slot (2/worker)", SchedulerKind::SingleSlot { slots: 2 }),
-        ("single-slot (4/worker)", SchedulerKind::SingleSlot { slots: 4 }),
+        (
+            "single-slot (2/worker)",
+            SchedulerKind::SingleSlot { slots: 2 },
+        ),
+        (
+            "single-slot (4/worker)",
+            SchedulerKind::SingleSlot { slots: 4 },
+        ),
     ] {
         let (util, wait) = run(kind);
         println!("{:<28} {:>11.1}% {:>12.1}", name, util * 100.0, wait);
@@ -92,7 +101,12 @@ fn main() {
         while d.admit(&job) {
             n += 1;
         }
-        println!("  {:<15} {} concurrent streams (bw util {:.0}%)", name, n, d.bandwidth_utilization() * 100.0);
+        println!(
+            "  {:<15} {} concurrent streams (bw util {:.0}%)",
+            name,
+            n,
+            d.bandwidth_utilization() * 100.0
+        );
     }
 
     println!("\nAblation 4 — reference store (§3.2): DRAM reads for one 720p frame search");

@@ -8,17 +8,21 @@ use vcu_cluster::tco::perf_per_tco_normalized;
 use vcu_codec::Profile;
 
 fn cell(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:>8.0}")).unwrap_or_else(|| format!("{:>8}", "-"))
+    v.map(|x| format!("{x:>8.0}"))
+        .unwrap_or_else(|| format!("{:>8}", "-"))
 }
 
 fn ratio(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:>7.1}x")).unwrap_or_else(|| format!("{:>8}", "-"))
+    v.map(|x| format!("{x:>7.1}x"))
+        .unwrap_or_else(|| format!("{:>8}", "-"))
 }
 
 fn main() {
     let shape = WorkloadShape::SotTwoPass;
     println!("Table 1: offline two-pass single-output (SOT) throughput and perf/TCO");
-    println!("(paper: Skylake 714/154 | 4xT4 2484/- | 8xVCU 5973/6122 | 20xVCU 14932/15306 Mpix/s;");
+    println!(
+        "(paper: Skylake 714/154 | 4xT4 2484/- | 8xVCU 5973/6122 | 20xVCU 14932/15306 Mpix/s;"
+    );
     println!(" perf/TCO 1.0/1.0 | 1.5/- | 4.4/20.8 | 7.0/33.3)\n");
     println!(
         "{:<12} {:>8} {:>8}   {:>8} {:>8}",

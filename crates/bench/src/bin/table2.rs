@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release -p vcu-bench --bin table2`
 
-use vcu_system::balance::{
-    attachment_limits, dram_sizing, host_scaling, network_ceiling_gpix_s,
-};
+use vcu_system::balance::{attachment_limits, dram_sizing, host_scaling, network_ceiling_gpix_s};
 
 fn main() {
     let ceiling = network_ceiling_gpix_s();
@@ -15,7 +13,10 @@ fn main() {
 
     let h = host_scaling(153.0);
     println!("Table 2: host resources scaled for 153 Gpix/s (paper: 42+13 cores, 214+300 Gbps)");
-    println!("{:<26} {:>14} {:>16}", "Use", "Logical cores", "DRAM bandwidth");
+    println!(
+        "{:<26} {:>14} {:>16}",
+        "Use", "Logical cores", "DRAM bandwidth"
+    );
     println!(
         "{:<26} {:>14.0} {:>12.0} Gbps",
         "Transcoding overheads", h.transcode_cores, h.transcode_dram_gbps
@@ -26,7 +27,9 @@ fn main() {
     );
     println!(
         "{:<26} {:>14.0} {:>12.0} Gbps",
-        "Total", h.total_cores(), h.total_dram_gbps()
+        "Total",
+        h.total_cores(),
+        h.total_dram_gbps()
     );
     println!("  (host provides ~100 cores / ~1600 Gbps: about half used)\n");
 

@@ -37,8 +37,7 @@ pub struct Record {
 impl Record {
     /// Elements per second at the median time, if elements were set.
     pub fn elems_per_s(&self) -> Option<f64> {
-        self.elements
-            .map(|e| e as f64 / (self.median_ns / 1e9))
+        self.elements.map(|e| e as f64 / (self.median_ns / 1e9))
     }
 }
 
@@ -263,9 +262,7 @@ mod tests {
     #[test]
     fn bench_measures_and_records() {
         let mut h = Harness::new();
-        let r = h.bench_elements("smoke/sum", Some(1000), || {
-            (0..1000u64).sum::<u64>()
-        });
+        let r = h.bench_elements("smoke/sum", Some(1000), || (0..1000u64).sum::<u64>());
         assert!(r.median_ns > 0.0);
         assert!(r.min_ns <= r.median_ns);
         assert_eq!(r.elements, Some(1000));
@@ -286,7 +283,9 @@ mod tests {
         // Rows with elements carry a derived elements/s throughput.
         let elems_row = body.lines().find(|l| l.contains("smoke/elems")).unwrap();
         assert!(elems_row.contains("\"throughput\":"));
-        assert!(!body.lines().any(|l| l.contains("smoke/nop") && l.contains("throughput")));
+        assert!(!body
+            .lines()
+            .any(|l| l.contains("smoke/nop") && l.contains("throughput")));
         // The telemetry twin lands next to the records.
         let twin = std::fs::read_to_string(telemetry_sibling(path)).unwrap();
         assert!(twin.contains("\"bench.smoke/nop.median_ns\""));
@@ -295,7 +294,10 @@ mod tests {
 
     #[test]
     fn telemetry_sibling_paths() {
-        assert_eq!(telemetry_sibling("results/bench_x.json"), "results/bench_x_telemetry.json");
+        assert_eq!(
+            telemetry_sibling("results/bench_x.json"),
+            "results/bench_x_telemetry.json"
+        );
         assert_eq!(telemetry_sibling("raw"), "raw_telemetry.json");
     }
 }

@@ -170,7 +170,10 @@ mod tests {
             mpix_s >= REF_STREAM_MPIX_S,
             "core rate {mpix_s:.0} below 2160p60 {REF_STREAM_MPIX_S:.0}"
         );
-        assert!(mpix_s < REF_STREAM_MPIX_S * 1.2, "core unrealistically fast");
+        assert!(
+            mpix_s < REF_STREAM_MPIX_S * 1.2,
+            "core unrealistically fast"
+        );
     }
 
     #[test]

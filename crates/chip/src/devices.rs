@@ -178,7 +178,10 @@ mod tests {
             .perf_per_watt(Profile::Vp9Sim, WorkloadShape::MotTwoPass)
             .unwrap();
         let ratio = vcu / cpu;
-        assert!((50.0..90.0).contains(&ratio), "VP9 MOT perf/W ratio {ratio}");
+        assert!(
+            (50.0..90.0).contains(&ratio),
+            "VP9 MOT perf/W ratio {ratio}"
+        );
     }
 
     #[test]

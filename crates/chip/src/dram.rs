@@ -76,7 +76,8 @@ impl DramModel {
                 .gauge_set("chip.dram.bandwidth_gib_s", self.streams_bw_gib_s);
             self.telemetry
                 .gauge_set("chip.dram.bandwidth_util", self.bandwidth_utilization());
-            self.telemetry.gauge_set("chip.dram.used_mib", self.used_mib);
+            self.telemetry
+                .gauge_set("chip.dram.used_mib", self.used_mib);
         }
     }
 
@@ -111,8 +112,7 @@ impl DramModel {
 
     /// Releases a previously admitted job.
     pub fn release(&mut self, job: &TranscodeJob) {
-        self.streams_bw_gib_s =
-            (self.streams_bw_gib_s - self.job_bandwidth_gib_s(job)).max(0.0);
+        self.streams_bw_gib_s = (self.streams_bw_gib_s - self.job_bandwidth_gib_s(job)).max(0.0);
         self.used_mib = (self.used_mib - job_footprint_mib(job)).max(0.0);
         self.publish();
     }
@@ -123,10 +123,7 @@ impl DramModel {
             .outputs
             .iter()
             .map(|o| {
-                encode_stream_bw_gib_s(
-                    o.resolution.pixels() as f64 * job.fps / 1e6,
-                    self.refcomp,
-                )
+                encode_stream_bw_gib_s(o.resolution.pixels() as f64 * job.fps / 1e6, self.refcomp)
             })
             .sum();
         enc + decode_stream_bw_gib_s(job.input_mpix_s())
@@ -169,7 +166,13 @@ mod tests {
     #[test]
     fn footprints_match_appendix() {
         let mot = TranscodeJob::mot(Resolution::R2160, Profile::Vp9Sim, 30.0, 5.0);
-        let sot = TranscodeJob::sot(Resolution::R2160, Resolution::R2160, Profile::Vp9Sim, 30.0, 5.0);
+        let sot = TranscodeJob::sot(
+            Resolution::R2160,
+            Resolution::R2160,
+            Profile::Vp9Sim,
+            30.0,
+            5.0,
+        );
         assert!((job_footprint_mib(&mot) - 700.0).abs() < 1.0);
         assert!((job_footprint_mib(&sot) - 500.0).abs() < 1.0);
         // 8 GiB VCU fits ~11 2160p MOTs; 4 GiB would not fit the
@@ -187,7 +190,10 @@ mod tests {
             admitted += 1;
             assert!(admitted < 100, "admission never saturates");
         }
-        assert!(admitted >= 2, "should fit at least a couple of 2160p60 MOTs");
+        assert!(
+            admitted >= 2,
+            "should fit at least a couple of 2160p60 MOTs"
+        );
         assert!(d.bandwidth_utilization() <= 1.0);
         // Releasing restores headroom.
         d.release(&big);

@@ -30,7 +30,12 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in pipeline order.
-    pub const ALL: [Stage; 4] = [Stage::MotionRdo, Stage::Entropy, Stage::LoopFilter, Stage::Dma];
+    pub const ALL: [Stage; 4] = [
+        Stage::MotionRdo,
+        Stage::Entropy,
+        Stage::LoopFilter,
+        Stage::Dma,
+    ];
 
     /// Mean cycles per 16×16 macroblock for this stage.
     pub fn mean_cycles(self) -> u32 {
@@ -259,7 +264,11 @@ mod tests {
         let reg = Registry::new();
         let sim = PipelineSim::new(4, 0.5);
         let traced = sim.relative_throughput_traced(2000, &reg);
-        assert_eq!(traced, sim.relative_throughput(2000), "tracing is observation-only");
+        assert_eq!(
+            traced,
+            sim.relative_throughput(2000),
+            "tracing is observation-only"
+        );
         for st in Stage::ALL {
             let occ = reg
                 .gauge(st.occupancy_metric())
@@ -268,12 +277,19 @@ mod tests {
         }
         // The bottleneck stage (largest mean cycles) must show the
         // highest occupancy of the four.
-        let bottleneck = Stage::ALL.iter().copied().max_by_key(|s| s.mean_cycles()).unwrap();
+        let bottleneck = Stage::ALL
+            .iter()
+            .copied()
+            .max_by_key(|s| s.mean_cycles())
+            .unwrap();
         let b_occ = reg.gauge(bottleneck.occupancy_metric()).unwrap();
         for st in Stage::ALL {
             assert!(b_occ >= reg.gauge(st.occupancy_metric()).unwrap() - 1e-12);
         }
-        assert!(b_occ > 0.9, "bottleneck stage should be nearly saturated: {b_occ}");
+        assert!(
+            b_occ > 0.9,
+            "bottleneck stage should be nearly saturated: {b_occ}"
+        );
         assert_eq!(reg.counter("chip.pipeline.blocks"), 2000);
     }
 

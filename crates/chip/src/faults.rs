@@ -37,6 +37,15 @@ pub struct FaultyVcu {
     pub resets: u64,
     /// Seed making this VCU's corruption pattern deterministic.
     corruption_seed: u64,
+    /// Firmware wedged: accepted jobs never complete (only a watchdog
+    /// notices). Cleared by a functional reset.
+    hung: bool,
+    /// Cycle-cost multiplier for a degraded (slow) core; 1.0 = nominal.
+    /// Survives resets — clock-gating faults live in silicon.
+    slow_factor: f64,
+    /// Firmware crash-loops: jobs abort partway and the core resets
+    /// itself over and over. Cleared only by repair.
+    crash_loop: bool,
 }
 
 /// Correctable-ECC threshold that trips the repair flow (§4.4: "high
@@ -55,6 +64,9 @@ impl FaultyVcu {
             uncorrectable_ecc: 0,
             resets: 0,
             corruption_seed: seed,
+            hung: false,
+            slow_factor: 1.0,
+            crash_loop: false,
         }
     }
 
@@ -88,14 +100,77 @@ impl FaultyVcu {
     }
 
     /// Functional reset performed by a newly attached worker (§4.4).
-    /// Resets clear transient state but not persistent silicon faults.
+    /// Resets clear transient state but not persistent silicon faults:
+    /// a firmware hang clears, silent corruption / slow cores /
+    /// crash-loops do not.
     pub fn functional_reset(&mut self) {
         self.resets += 1;
+        self.hung = false;
     }
 
     /// Whether the VCU accepts work.
     pub fn accepts_work(&self) -> bool {
         self.state != HealthState::Disabled
+    }
+
+    /// Injects a firmware hang: accepted jobs never complete until a
+    /// functional reset clears the wedge.
+    pub fn inject_hang(&mut self) {
+        self.hung = true;
+    }
+
+    /// Whether the firmware is currently wedged.
+    pub fn is_hung(&self) -> bool {
+        self.hung
+    }
+
+    /// Injects a slow-core fault: every job on this VCU costs
+    /// `factor`× the nominal cycles (tail-latency degradation, §4.4).
+    /// Factors below 1.0 are clamped to nominal.
+    pub fn inject_slow(&mut self, factor: f64) {
+        self.slow_factor = factor.max(1.0);
+    }
+
+    /// Current cycle-cost multiplier (1.0 when nominal).
+    pub fn slow_factor(&self) -> f64 {
+        self.slow_factor
+    }
+
+    /// Injects a crash-loop: firmware aborts jobs partway and resets
+    /// itself repeatedly until repaired.
+    pub fn inject_crash_loop(&mut self) {
+        self.crash_loop = true;
+    }
+
+    /// Whether the firmware is crash-looping.
+    pub fn is_crash_looping(&self) -> bool {
+        self.crash_loop
+    }
+
+    /// Full repair (board swap / firmware reflash): clears every fault,
+    /// including the persistent ones a functional reset cannot touch,
+    /// and re-enables the VCU. ECC counters restart from zero on the
+    /// fresh part.
+    pub fn repair(&mut self) {
+        self.state = HealthState::Healthy;
+        self.correctable_ecc = 0;
+        self.uncorrectable_ecc = 0;
+        self.hung = false;
+        self.slow_factor = 1.0;
+        self.crash_loop = false;
+    }
+
+    /// Cheap periodic screening check against pre-computed golden
+    /// bytes: passes the cached golden payload through this VCU's data
+    /// path and compares checksums. Unlike [`golden_test`] this does
+    /// not re-encode the golden clip, so a cluster can screen thousands
+    /// of workers on a cadence. A hung or crash-looping VCU fails
+    /// screening outright — the probe job would never return cleanly.
+    pub fn screen(&self, golden: &[u8], expected: u64) -> bool {
+        if !self.accepts_work() || self.hung || self.crash_loop {
+            return false;
+        }
+        checksum(&self.taint(golden.to_vec())) == expected
     }
 
     /// Passes encoded output through the (possibly faulty) hardware:
@@ -118,11 +193,13 @@ impl FaultyVcu {
 /// of a fixed synthetic clip. Both the expected checksum and the check
 /// itself use the real codec, so any corruption in the data path shows.
 pub fn golden_transcode_bytes() -> Vec<u8> {
-    let video = SynthSpec::new(Resolution::R144, 2, ContentClass::screen_content(), 0x601D)
-        .generate();
-    let cfg = EncoderConfig::const_qp(Profile::H264Sim, Qp::new(32))
-        .with_hardware(TuningLevel::MATURE);
-    encode(&cfg, &video).expect("golden encode cannot fail").bytes
+    let video =
+        SynthSpec::new(Resolution::R144, 2, ContentClass::screen_content(), 0x601D).generate();
+    let cfg =
+        EncoderConfig::const_qp(Profile::H264Sim, Qp::new(32)).with_hardware(TuningLevel::MATURE);
+    encode(&cfg, &video)
+        .expect("golden encode cannot fail")
+        .bytes
 }
 
 /// FNV-1a checksum of a byte stream (matches the container checksum
@@ -216,5 +293,74 @@ mod tests {
         vcu.functional_reset();
         assert_eq!(vcu.state(), HealthState::SilentlyCorrupting);
         assert_eq!(vcu.resets, 1);
+    }
+
+    #[test]
+    fn reset_clears_hang_but_not_slow_or_crash_loop() {
+        let mut vcu = FaultyVcu::new(4);
+        vcu.inject_hang();
+        vcu.inject_slow(3.0);
+        vcu.inject_crash_loop();
+        assert!(vcu.is_hung() && vcu.is_crash_looping());
+        vcu.functional_reset();
+        assert!(!vcu.is_hung(), "reset unwedges firmware");
+        assert_eq!(vcu.slow_factor(), 3.0, "slow core survives reset");
+        assert!(vcu.is_crash_looping(), "crash-loop survives reset");
+    }
+
+    #[test]
+    fn repair_heals_everything() {
+        let mut vcu = FaultyVcu::new(5);
+        vcu.inject_silent_corruption();
+        vcu.inject_hang();
+        vcu.inject_slow(2.5);
+        vcu.inject_crash_loop();
+        vcu.record_ecc(CORRECTABLE_ECC_LIMIT, UNCORRECTABLE_ECC_LIMIT);
+        assert!(!vcu.accepts_work());
+        vcu.repair();
+        assert_eq!(vcu.state(), HealthState::Healthy);
+        assert!(vcu.accepts_work());
+        assert!(!vcu.is_hung() && !vcu.is_crash_looping());
+        assert_eq!(vcu.slow_factor(), 1.0);
+        assert_eq!(vcu.correctable_ecc, 0);
+        assert_eq!(vcu.uncorrectable_ecc, 0);
+        assert!(golden_test(&vcu, golden_expected()));
+    }
+
+    #[test]
+    fn slow_factor_clamps_to_nominal() {
+        let mut vcu = FaultyVcu::new(6);
+        vcu.inject_slow(0.25);
+        assert_eq!(vcu.slow_factor(), 1.0, "a fault cannot speed the core up");
+    }
+
+    #[test]
+    fn screen_matches_golden_test_without_reencoding() {
+        let golden = golden_transcode_bytes();
+        let expected = checksum(&golden);
+        let healthy = FaultyVcu::new(7);
+        assert!(healthy.screen(&golden, expected));
+
+        let mut corrupting = FaultyVcu::new(7);
+        corrupting.inject_silent_corruption();
+        assert!(!corrupting.screen(&golden, expected));
+
+        let mut hung = FaultyVcu::new(8);
+        hung.inject_hang();
+        assert!(
+            !hung.screen(&golden, expected),
+            "probe never returns from a hung core"
+        );
+
+        let mut looping = FaultyVcu::new(9);
+        looping.inject_crash_loop();
+        assert!(!looping.screen(&golden, expected));
+
+        let mut slow = FaultyVcu::new(10);
+        slow.inject_slow(4.0);
+        assert!(
+            slow.screen(&golden, expected),
+            "slow output is still correct output"
+        );
     }
 }

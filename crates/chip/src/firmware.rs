@@ -194,7 +194,11 @@ impl Firmware {
             }
         }
         if self.telemetry.is_enabled() {
-            let depth: usize = self.queues.iter().map(|q| q.pending.len() + q.in_flight).sum();
+            let depth: usize = self
+                .queues
+                .iter()
+                .map(|q| q.pending.len() + q.in_flight)
+                .sum();
             self.telemetry
                 .observe("chip.firmware.queue_depth", depth as f64);
         }
@@ -322,8 +326,14 @@ mod tests {
             .histogram("chip.firmware.queue_depth")
             .expect("queue depth histogram recorded");
         assert!(depth.count > 0);
-        assert!(depth.max >= 1.0, "some tick saw pending work: {}", depth.max);
-        let util = reg.gauge("chip.firmware.utilization").expect("utilization gauge");
+        assert!(
+            depth.max >= 1.0,
+            "some tick saw pending work: {}",
+            depth.max
+        );
+        let util = reg
+            .gauge("chip.firmware.utilization")
+            .expect("utilization gauge");
         assert!((0.0..=1.0).contains(&util));
         assert!((util - fw.utilization()).abs() < 1e-12);
     }

@@ -149,7 +149,13 @@ mod tests {
 
     #[test]
     fn sot_counts_one_output() {
-        let j = TranscodeJob::sot(Resolution::R1080, Resolution::R480, Profile::H264Sim, 30.0, 5.0);
+        let j = TranscodeJob::sot(
+            Resolution::R1080,
+            Resolution::R480,
+            Profile::H264Sim,
+            30.0,
+            5.0,
+        );
         assert!(!j.is_mot());
         let expect = 854.0 * 480.0 * 30.0 / 1e6;
         assert!((j.output_mpix_s() - expect).abs() < 1e-9);
@@ -160,8 +166,14 @@ mod tests {
         let j = TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 2.0).low_latency();
         assert!(!j.two_pass);
         assert_eq!(j.pass_mode, PassMode::OnePassLowLatency);
-        let s = TranscodeJob::sot(Resolution::R2160, Resolution::R2160, Profile::Vp9Sim, 60.0, 1.0)
-            .low_latency_two_pass();
+        let s = TranscodeJob::sot(
+            Resolution::R2160,
+            Resolution::R2160,
+            Profile::Vp9Sim,
+            60.0,
+            1.0,
+        )
+        .low_latency_two_pass();
         assert!(s.two_pass);
     }
 

@@ -195,7 +195,10 @@ mod tests {
             store.dram_bytes_read,
             padded * 2
         );
-        assert!(store.dram_bytes_read >= frame_pixels, "must read frame at least once");
+        assert!(
+            store.dram_bytes_read >= frame_pixels,
+            "must read frame at least once"
+        );
     }
 
     #[test]

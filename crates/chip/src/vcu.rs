@@ -246,8 +246,8 @@ mod tests {
     fn single_vcu_handles_1080p_mot_in_realtime() {
         // §4.5: "today, a single VCU can handle this MOT in real time".
         let v = VcuModel::new();
-        let job = TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 2.0)
-            .low_latency_two_pass();
+        let job =
+            TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 2.0).low_latency_two_pass();
         let d = v.job_demand(&job);
         assert!(
             d.fits_in(ResourceDemand::vcu_capacity()),
@@ -258,8 +258,18 @@ mod tests {
     #[test]
     fn demand_scales_with_resolution() {
         let v = VcuModel::new();
-        let small = v.job_demand(&TranscodeJob::mot(Resolution::R360, Profile::Vp9Sim, 30.0, 5.0));
-        let big = v.job_demand(&TranscodeJob::mot(Resolution::R2160, Profile::Vp9Sim, 30.0, 5.0));
+        let small = v.job_demand(&TranscodeJob::mot(
+            Resolution::R360,
+            Profile::Vp9Sim,
+            30.0,
+            5.0,
+        ));
+        let big = v.job_demand(&TranscodeJob::mot(
+            Resolution::R2160,
+            Profile::Vp9Sim,
+            30.0,
+            5.0,
+        ));
         assert!(big.milliencode > small.milliencode * 10);
         assert!(big.millidecode > small.millidecode);
     }

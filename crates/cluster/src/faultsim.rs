@@ -1,0 +1,400 @@
+//! `vcu-faultsim`: the deterministic fault-campaign harness.
+//!
+//! A *campaign* sweeps fault rate × mean-time-to-repair over a fleet
+//! and measures how the §4.4 failure-management machinery holds up:
+//! goodput (completed minus corrupt-escaped work), black-holed chunks,
+//! blast radius, tail waits, and time spent on each rung of the
+//! graceful-degradation ladder. Every cell derives its RNG stream,
+//! fault schedule, and cluster seed from the campaign seed through
+//! [`vcu_rng::mix64`], so a campaign is a replayable artifact: the
+//! same seed produces a byte-identical JSON report, which is what
+//! `results/fault_campaign.json` pins in CI.
+
+use crate::pools::DegradePolicy;
+use crate::sim::{
+    ClusterConfig, ClusterSim, FaultInjection, FaultKind, HealthPolicy, JobSpec, Priority,
+    RetryPolicy, WatchdogPolicy,
+};
+use vcu_chip::{ResourceDemand, TranscodeJob, VcuModel};
+use vcu_codec::Profile;
+use vcu_media::Resolution;
+use vcu_rng::{mix64, Rng};
+
+/// Campaign sweep configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Fleet size (workers).
+    pub vcus: usize,
+    /// Jobs submitted per VCU over the run.
+    pub jobs_per_vcu: usize,
+    /// Campaign seed; every cell mixes its own stream out of this.
+    pub seed: u64,
+    /// Fraction of the fleet hit by a fault, one cell per value.
+    pub fault_rates: Vec<f64>,
+    /// Mean time to repair (seconds) sweep; `f64::INFINITY` means
+    /// faults are never repaired within the run.
+    pub mttr_s: Vec<f64>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            vcus: 1000,
+            jobs_per_vcu: 240,
+            seed: 42,
+            fault_rates: vec![0.0, 0.02, 0.05, 0.10],
+            mttr_s: vec![60.0, f64::INFINITY],
+        }
+    }
+}
+
+/// Metrics of one (fault-rate, MTTR) campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Fraction of the fleet faulted.
+    pub fault_rate: f64,
+    /// Mean time to repair, seconds (infinite = never).
+    pub mttr_s: f64,
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// (completed − escaped-corrupt) / submitted: the fraction of work
+    /// that came back *and was correct*.
+    pub goodput_frac: f64,
+    /// Corrupted chunks that shipped undetected (black-holed work).
+    pub black_holed: u64,
+    /// Mean distinct VCUs per video (§4.4 blast radius).
+    pub blast_radius: f64,
+    /// Mean queueing wait, seconds.
+    pub mean_wait_s: f64,
+    /// p99 queueing wait, seconds.
+    pub p99_wait_s: f64,
+    /// Jobs failed with no usable worker left.
+    pub stranded: u64,
+    /// Batch jobs shed by the degradation ladder.
+    pub shed: u64,
+    /// Watchdog deadlines fired.
+    pub watchdog_fired: u64,
+    /// Crash-loop aborts.
+    pub crash_aborts: u64,
+    /// Field repairs applied.
+    pub repairs: u64,
+    /// Workers quarantined by the end of the cell.
+    pub quarantined_workers: u64,
+    /// Fraction of samples at each degradation rung.
+    pub degrade_time_frac: [f64; 4],
+}
+
+/// The fault kinds a campaign cycles through, in severity-mixed order
+/// so every rate bucket gets a representative mix.
+const CAMPAIGN_FAULTS: [FaultKind; 6] = [
+    FaultKind::SilentCorruption,
+    FaultKind::FirmwareHang,
+    FaultKind::SlowCore { factor_pct: 1600 },
+    FaultKind::EccStorm {
+        correctable_per_tick: 100,
+    },
+    FaultKind::CrashLoop,
+    FaultKind::Dead,
+];
+
+/// Fleet utilization the offered load targets: high enough that
+/// faulting 10% of the fleet pushes it just past saturation (the
+/// regime where the degradation ladder and shedding earn their keep),
+/// low enough that a healthy fleet keeps up with slack.
+const TARGET_UTIL: f64 = 0.97;
+
+/// The uniform campaign chunk: 1080p30, 5 s, VP9 MOT — the same heavy
+/// chunk `bench_cluster_scale` drives, so one worker holds only a few
+/// concurrently and losing workers moves the needle.
+fn campaign_job() -> TranscodeJob {
+    TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0)
+}
+
+/// Concurrent campaign chunks one healthy worker fits (the binding
+/// scheduler dimension).
+fn slots_per_worker() -> u64 {
+    let d = VcuModel::new().job_demand(&campaign_job());
+    let cap = ResourceDemand::vcu_capacity();
+    [
+        cap.millidecode / d.millidecode.max(1),
+        cap.milliencode / d.milliencode.max(1),
+        cap.dram_mib / d.dram_mib.max(1),
+        cap.host_mcpu / d.host_mcpu.max(1),
+    ]
+    .into_iter()
+    .min()
+    .unwrap()
+    .max(1) as u64
+}
+
+/// Time span over which the cell's jobs arrive, seconds: the offered
+/// load holds the healthy fleet at [`TARGET_UTIL`] of its true
+/// multi-slot capacity.
+pub fn arrival_span_s(jobs_per_vcu: usize) -> f64 {
+    jobs_per_vcu as f64 * campaign_job().duration_s / (slots_per_worker() as f64 * TARGET_UTIL)
+}
+
+/// Deterministic job list for one cell: uniform 1080p30 5-second MOT
+/// chunks, four chunks per video, with the §3.3.3 priority mix
+/// (1 Critical : 2 Normal : 1 Batch).
+fn cell_jobs(vcus: usize, jobs_per_vcu: usize) -> Vec<JobSpec> {
+    let total = vcus * jobs_per_vcu;
+    let span = arrival_span_s(jobs_per_vcu);
+    (0..total)
+        .map(|i| JobSpec {
+            arrival_s: i as f64 * span / total as f64,
+            job: campaign_job(),
+            priority: match i % 4 {
+                0 => Priority::Critical,
+                3 => Priority::Batch,
+                _ => Priority::Normal,
+            },
+            video_id: (i / 4) as u64,
+        })
+        .collect()
+}
+
+/// Deterministic fault schedule for one cell: `fault_rate` of the
+/// fleet (chosen by a seeded shuffle) faults at a seeded time in the
+/// first half of the arrival span, cycling through
+/// [`CAMPAIGN_FAULTS`]; each fault is followed by a repair `mttr_s`
+/// later when MTTR is finite.
+fn cell_faults(
+    vcus: usize,
+    jobs_per_vcu: usize,
+    fault_rate: f64,
+    mttr_s: f64,
+    rng: &mut Rng,
+) -> Vec<FaultInjection> {
+    let n_faulted = ((vcus as f64 * fault_rate).round() as usize).min(vcus);
+    let mut workers: Vec<usize> = (0..vcus).collect();
+    rng.shuffle(&mut workers);
+    let span = arrival_span_s(jobs_per_vcu);
+    let mut faults = Vec::with_capacity(n_faulted * 2);
+    for (k, &w) in workers.iter().take(n_faulted).enumerate() {
+        let time_s = rng.gen_range(10.0..(span * 0.5).max(11.0));
+        faults.push(FaultInjection {
+            time_s,
+            worker: w,
+            kind: CAMPAIGN_FAULTS[k % CAMPAIGN_FAULTS.len()],
+        });
+        if mttr_s.is_finite() {
+            faults.push(FaultInjection {
+                time_s: time_s + mttr_s,
+                worker: w,
+                kind: FaultKind::Repair,
+            });
+        }
+    }
+    faults
+}
+
+/// The cluster configuration every campaign cell runs: backoff retry,
+/// watchdogs, periodic screening, bounded recoveries, and the
+/// degradation ladder all armed.
+fn cell_cluster_config(vcus: usize, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        vcus,
+        detection_rate: 0.9,
+        retry: RetryPolicy {
+            base_s: 5.0,
+            factor: 2.0,
+            max_attempts: 5,
+            jitter_frac: 0.1,
+        },
+        watchdog: WatchdogPolicy {
+            grace_s: 10.0,
+            service_factor: 4.0,
+        },
+        health: HealthPolicy {
+            strike_threshold: 3,
+            max_recoveries: 1,
+            golden_period_s: 60.0,
+        },
+        degrade: DegradePolicy {
+            enabled: true,
+            ..DegradePolicy::default()
+        },
+        sample_period_s: 15.0,
+        seed,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Runs one campaign cell and reduces its report to [`CampaignCell`].
+pub fn run_cell(cfg: &CampaignConfig, fault_rate: f64, mttr_s: f64, cell: u64) -> CampaignCell {
+    let cell_seed = mix64(cfg.seed, cell);
+    let mut rng = Rng::seed_from_u64(cell_seed);
+    let jobs = cell_jobs(cfg.vcus, cfg.jobs_per_vcu);
+    let n_jobs = jobs.len() as u64;
+    let faults = cell_faults(cfg.vcus, cfg.jobs_per_vcu, fault_rate, mttr_s, &mut rng);
+    let report = ClusterSim::new(cell_cluster_config(cfg.vcus, cell_seed), jobs, faults).run();
+    CampaignCell {
+        fault_rate,
+        mttr_s,
+        jobs: n_jobs,
+        goodput_frac: (report.completed.saturating_sub(report.escaped_corruptions)) as f64
+            / n_jobs.max(1) as f64,
+        black_holed: report.escaped_corruptions,
+        blast_radius: report.mean_vcus_per_video,
+        mean_wait_s: report.mean_wait_s,
+        p99_wait_s: report.p99_wait_s,
+        stranded: report.stranded,
+        shed: report.shed,
+        watchdog_fired: report.watchdog_fired,
+        crash_aborts: report.crash_aborts,
+        repairs: report.repairs,
+        quarantined_workers: report.quarantined_workers,
+        degrade_time_frac: report.degrade_time_frac,
+    }
+}
+
+/// Runs the full sweep: one cell per (MTTR, fault-rate) pair, in a
+/// deterministic order.
+pub fn run_campaign(cfg: &CampaignConfig) -> Vec<CampaignCell> {
+    let mut cells = Vec::with_capacity(cfg.mttr_s.len() * cfg.fault_rates.len());
+    let mut cell_idx = 0u64;
+    for &mttr in &cfg.mttr_s {
+        for &rate in &cfg.fault_rates {
+            cells.push(run_cell(cfg, rate, mttr, cell_idx));
+            cell_idx += 1;
+        }
+    }
+    cells
+}
+
+/// Fixed-precision float for byte-stable JSON ({:.6} is lossless at
+/// the magnitudes involved and avoids shortest-repr jitter).
+fn f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders a campaign as deterministic JSON (one cell object per
+/// line inside the array, stable key order). Two same-seed runs
+/// produce byte-identical output.
+pub fn render_json(cfg: &CampaignConfig, cells: &[CampaignCell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"campaign\": {{\"vcus\": {}, \"jobs_per_vcu\": {}, \"seed\": {}}},\n",
+        cfg.vcus, cfg.jobs_per_vcu, cfg.seed
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"fault_rate\": {}, \"mttr_s\": {}, \"jobs\": {}, \"goodput_frac\": {}, \
+             \"black_holed\": {}, \"blast_radius\": {}, \"mean_wait_s\": {}, \
+             \"p99_wait_s\": {}, \"stranded\": {}, \"shed\": {}, \"watchdog_fired\": {}, \
+             \"crash_aborts\": {}, \"repairs\": {}, \"quarantined_workers\": {}, \
+             \"degrade_time_frac\": [{}, {}, {}, {}]}}{}\n",
+            f(c.fault_rate),
+            f(c.mttr_s),
+            c.jobs,
+            f(c.goodput_frac),
+            c.black_holed,
+            f(c.blast_radius),
+            f(c.mean_wait_s),
+            f(c.p99_wait_s),
+            c.stranded,
+            c.shed,
+            c.watchdog_fired,
+            c.crash_aborts,
+            c.repairs,
+            c.quarantined_workers,
+            f(c.degrade_time_frac[0]),
+            f(c.degrade_time_frac[1]),
+            f(c.degrade_time_frac[2]),
+            f(c.degrade_time_frac[3]),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        CampaignConfig {
+            vcus: 8,
+            jobs_per_vcu: 4,
+            seed: 7,
+            fault_rates: vec![0.0, 0.25],
+            mttr_s: vec![60.0],
+        }
+    }
+
+    #[test]
+    fn campaign_is_byte_deterministic() {
+        let cfg = tiny();
+        let a = render_json(&cfg, &run_campaign(&cfg));
+        let b = render_json(&cfg, &run_campaign(&cfg));
+        assert_eq!(a, b, "same-seed campaigns must be byte-identical");
+        assert!(a.contains("\"goodput_frac\""));
+    }
+
+    #[test]
+    fn different_seeds_produce_different_fault_schedules() {
+        // Aggregate cell metrics can coincide at toy scale, so the
+        // seed sensitivity is asserted where it is deterministic: the
+        // generated schedule (which workers fault, when).
+        let cfg = tiny();
+        let schedule = |seed: u64| {
+            let mut rng = Rng::seed_from_u64(mix64(seed, 1));
+            cell_faults(cfg.vcus, cfg.jobs_per_vcu, 0.25, 60.0, &mut rng)
+        };
+        let a = schedule(cfg.seed);
+        assert_eq!(a, schedule(cfg.seed), "same seed, same schedule");
+        assert_ne!(a, schedule(cfg.seed + 1), "seed must steer the schedule");
+    }
+
+    #[test]
+    fn zero_fault_rate_is_clean() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![0.0],
+            ..tiny()
+        };
+        let cells = run_campaign(&cfg);
+        assert_eq!(cells.len(), 1);
+        let c = &cells[0];
+        assert_eq!(c.goodput_frac, 1.0, "healthy fleet completes everything");
+        assert_eq!(c.black_holed, 0);
+        assert_eq!(c.watchdog_fired, 0);
+        assert_eq!(c.quarantined_workers, 0);
+    }
+
+    #[test]
+    fn every_cell_resolves_all_jobs() {
+        let cfg = CampaignConfig {
+            vcus: 8,
+            jobs_per_vcu: 4,
+            seed: 3,
+            fault_rates: vec![0.0, 0.5],
+            mttr_s: vec![30.0, f64::INFINITY],
+        };
+        for c in run_campaign(&cfg) {
+            assert_eq!(c.jobs, 32);
+            // goodput + failures account for everything; nothing hangs
+            // the DES loop (termination is the property test's job —
+            // this is the smoke version).
+            assert!(c.goodput_frac >= 0.0 && c.goodput_frac <= 1.0);
+        }
+    }
+
+    #[test]
+    fn infinite_mttr_renders_as_null() {
+        let cfg = CampaignConfig {
+            fault_rates: vec![0.25],
+            mttr_s: vec![f64::INFINITY],
+            ..tiny()
+        };
+        let json = render_json(&cfg, &run_campaign(&cfg));
+        assert!(json.contains("\"mttr_s\": null"));
+    }
+}

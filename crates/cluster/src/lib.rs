@@ -8,18 +8,23 @@
 //! - [`sim`]: the cluster simulator tying scheduler, VCU fault models,
 //!   retries, black-holing mitigation and opportunistic software
 //!   decode together,
+//! - [`faultsim`]: the deterministic fault-campaign harness sweeping
+//!   fault rate × MTTR over a fleet (§4.4's failure management under
+//!   load),
 //! - [`tco`]: the capex + 3-year-opex cost model behind Table 1's
 //!   perf/TCO column.
 pub mod des;
+pub mod faultsim;
 pub mod pools;
 pub mod scheduler;
 pub mod sim;
 pub mod tco;
 
-pub use pools::{PoolId, PoolManager, UseCase};
+pub use faultsim::{render_json, run_campaign, run_cell, CampaignCell, CampaignConfig};
+pub use pools::{DegradePolicy, PoolId, PoolManager, UseCase};
 pub use scheduler::{PlacementMode, Scheduler, SchedulerKind};
 pub use sim::{
-    ClusterConfig, ClusterReport, ClusterSim, FaultInjection, FaultKind, JobSpec, Priority,
-    Sample,
+    AttemptMode, ClusterConfig, ClusterReport, ClusterSim, FaultInjection, FaultKind, HealthPolicy,
+    JobSpec, Priority, RetryPolicy, Sample, WatchdogPolicy, WorkerMgmtState,
 };
 pub use tco::{perf_per_tco, perf_per_tco_normalized, system_tco, Tco};

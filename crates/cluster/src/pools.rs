@@ -127,7 +127,12 @@ impl PoolManager {
         let pools: Vec<PoolId> = self.assignment.keys().copied().collect();
         let mut shares: Vec<(PoolId, f64)> = pools
             .iter()
-            .map(|&p| (p, self.demand[&p] / total_demand * self.total_workers as f64))
+            .map(|&p| {
+                (
+                    p,
+                    self.demand[&p] / total_demand * self.total_workers as f64,
+                )
+            })
             .collect();
         let mut granted: BTreeMap<PoolId, usize> = shares
             .iter()
@@ -157,10 +162,7 @@ impl PoolManager {
         }
         // Shed overshoot (floors can overcommit) from the largest pools.
         while used > self.total_workers {
-            let (&p, _) = granted
-                .iter()
-                .max_by_key(|(_, &n)| n)
-                .expect("non-empty");
+            let (&p, _) = granted.iter().max_by_key(|(_, &n)| n).expect("non-empty");
             *granted.get_mut(&p).expect("pool exists") -= 1;
             used -= 1;
         }
@@ -176,6 +178,58 @@ impl PoolManager {
     /// Total workers under management.
     pub fn total_workers(&self) -> usize {
         self.total_workers
+    }
+}
+
+/// Graceful-degradation ladder (§4.4): when faults shrink the usable
+/// fleet or backlog outruns it, the cluster steps service quality down
+/// one rung at a time instead of collapsing:
+///
+/// * level 0 — full hardware path;
+/// * level 1 — HW decode + SW encode (encode is the scarcer resource:
+///   a VCU has 10 Mpix/s of encode against 30 of decode);
+/// * level 2 — full software fallback (host CPUs carry the codec);
+/// * level 3 — additionally shed Batch-priority work.
+///
+/// The ladder is driven by live backlog per *usable* worker, so a
+/// quarantine wave and a demand spike both push it the same direction,
+/// and it steps at most one rung per sample in either direction —
+/// hysteresis by construction, no oscillation between distant rungs.
+#[derive(Debug, Clone)]
+pub struct DegradePolicy {
+    /// Master switch; disabled ladders never leave level 0.
+    pub enabled: bool,
+    /// Backlog-per-usable-worker thresholds that arm levels 1..=3.
+    /// Must be non-decreasing.
+    pub backlog_per_worker: [f64; 3],
+    /// Service-time multiplier for SW-encode attempts (level ≥ 1).
+    pub sw_encode_service_factor: f64,
+    /// Service-time multiplier for full-SW attempts (level ≥ 2).
+    pub sw_full_service_factor: f64,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            enabled: false,
+            backlog_per_worker: [4.0, 8.0, 16.0],
+            sw_encode_service_factor: 2.5,
+            sw_full_service_factor: 4.0,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// The rung the ladder is pulling toward for the observed backlog
+    /// pressure. The caller moves one step toward this per sample.
+    pub fn target_level(&self, backlog_per_worker: f64) -> u8 {
+        if !self.enabled {
+            return 0;
+        }
+        self.backlog_per_worker
+            .iter()
+            .take_while(|&&t| backlog_per_worker >= t)
+            .count() as u8
     }
 }
 
@@ -275,6 +329,8 @@ mod tests {
             mpix_s_per_vcu: 1.0,
             queued: 21,
             queued_per_pool: [1, 2, 18],
+            degrade_level: 0,
+            usable_workers: 12,
         };
         m.report_sample(&s);
         let moved = m.rebalance();
@@ -294,10 +350,36 @@ mod tests {
             }],
         );
         lone.report_class_demand(Priority::Batch, 7.0);
-        assert_eq!(lone.workers_of(PoolId {
-            use_case: UseCase::Live,
-            priority: Priority::Critical,
-        }), 4);
+        assert_eq!(
+            lone.workers_of(PoolId {
+                use_case: UseCase::Live,
+                priority: Priority::Critical,
+            }),
+            4
+        );
+    }
+
+    #[test]
+    fn degrade_ladder_targets_are_monotone() {
+        let p = DegradePolicy {
+            enabled: true,
+            ..DegradePolicy::default()
+        };
+        assert_eq!(p.target_level(0.0), 0);
+        assert_eq!(p.target_level(3.9), 0);
+        assert_eq!(p.target_level(4.0), 1);
+        assert_eq!(p.target_level(8.0), 2);
+        assert_eq!(p.target_level(16.0), 3);
+        assert_eq!(p.target_level(1e9), 3);
+        let mut last = 0;
+        for i in 0..200 {
+            let lvl = p.target_level(i as f64 * 0.25);
+            assert!(lvl >= last, "ladder target must be monotone in backlog");
+            last = lvl;
+        }
+        // Disabled ladders never leave the ground rung.
+        let off = DegradePolicy::default();
+        assert_eq!(off.target_level(1e9), 0);
     }
 
     #[test]

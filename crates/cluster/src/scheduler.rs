@@ -134,7 +134,12 @@ impl AvailabilityIndex {
     /// `pred` must be monotone under [`IndexNode::merge`]: if it holds
     /// for any leaf it holds for every ancestor aggregate, so a subtree
     /// whose aggregate fails can be pruned without visiting leaves.
-    fn find_first(&self, lo: usize, hi: usize, pred: &impl Fn(&IndexNode) -> bool) -> Option<usize> {
+    fn find_first(
+        &self,
+        lo: usize,
+        hi: usize,
+        pred: &impl Fn(&IndexNode) -> bool,
+    ) -> Option<usize> {
         if lo >= hi {
             return None;
         }
@@ -318,7 +323,10 @@ impl Scheduler {
         };
         match found {
             Some(w) => {
-                debug_assert!(self.can_place(w, demand), "index returned infeasible worker {w}");
+                debug_assert!(
+                    self.can_place(w, demand),
+                    "index returned infeasible worker {w}"
+                );
                 self.commit_place(w, demand);
                 self.placements += 1;
                 Some(w)
@@ -348,9 +356,11 @@ impl Scheduler {
                 SchedulerKind::MultiDim => self.index.find_first(a, b.min(n), &|nd: &IndexNode| {
                     nd.accepting && demand.fits_in(nd.avail)
                 }),
-                SchedulerKind::SingleSlot { .. } => self
-                    .index
-                    .find_first(a, b.min(n), &|nd: &IndexNode| nd.accepting && nd.free_slots > 0),
+                SchedulerKind::SingleSlot { .. } => {
+                    self.index.find_first(a, b.min(n), &|nd: &IndexNode| {
+                        nd.accepting && nd.free_slots > 0
+                    })
+                }
             }
         };
         if lo + win <= n {
@@ -454,7 +464,11 @@ mod tests {
     fn first_fit_by_worker_number() {
         let mut s = Scheduler::new(SchedulerKind::MultiDim, 4, 1);
         assert_eq!(s.place(demand(100, 100), 0), Some(0));
-        assert_eq!(s.place(demand(100, 100), 0), Some(0), "packs onto first fit");
+        assert_eq!(
+            s.place(demand(100, 100), 0),
+            Some(0),
+            "packs onto first fit"
+        );
     }
 
     #[test]
@@ -553,10 +567,7 @@ mod tests {
         let mut b = Scheduler::with_placement(kind, n, 2, PlacementMode::LinearScan);
         let mut placed: Vec<(usize, ResourceDemand)> = Vec::new();
         for i in 0..400usize {
-            let d = demand(
-                (i as u32 * 613) % 1500,
-                (i as u32 * 217) % 4000,
-            );
+            let d = demand((i as u32 * 613) % 1500, (i as u32 * 217) % 4000);
             let start = (i * 7) % (n + 3); // exercise start >= n wrapping
             let window = 1 + (i * 11) % n.max(1);
             let wa = a.place_from(d, start, window);

@@ -15,11 +15,12 @@
 //!   many corrupted chunks escape the integrity checks.
 
 use crate::des::EventQueue;
+use crate::pools::DegradePolicy;
 use crate::scheduler::{PlacementMode, Scheduler, SchedulerKind};
 use std::collections::{BTreeSet, HashMap, VecDeque};
-use vcu_chip::faults::{golden_expected, golden_test, FaultyVcu, HealthState};
-use vcu_rng::Rng;
+use vcu_chip::faults::{checksum, golden_transcode_bytes, FaultyVcu, HealthState};
 use vcu_chip::{ResourceDemand, TranscodeJob, VcuModel};
+use vcu_rng::Rng;
 use vcu_telemetry::{Registry, Scope};
 
 /// Priority classes (§3.3.3's pools).
@@ -110,8 +111,15 @@ pub struct ClusterConfig {
     pub opportunistic_sw_decode: bool,
     /// Probability an integrity check catches a corrupted chunk.
     pub detection_rate: f64,
-    /// Maximum retries per job before it fails permanently.
-    pub max_retries: u32,
+    /// Exponential-backoff retry policy with a per-job attempt budget.
+    pub retry: RetryPolicy,
+    /// Per-job watchdog timeouts (§4.4: a hung firmware never reports
+    /// completion — only a deadline notices).
+    pub watchdog: WatchdogPolicy,
+    /// Worker health scoring: strikes, draining, screening cadence.
+    pub health: HealthPolicy,
+    /// Graceful-degradation ladder (disabled by default).
+    pub degrade: DegradePolicy,
     /// Metrics sampling period in seconds.
     pub sample_period_s: f64,
     /// Software-stack overhead multiplier on service times (>1 models
@@ -136,7 +144,10 @@ impl Default for ClusterConfig {
             integrity_checks: true,
             opportunistic_sw_decode: false,
             detection_rate: 0.9,
-            max_retries: 4,
+            retry: RetryPolicy::default(),
+            watchdog: WatchdogPolicy::default(),
+            health: HealthPolicy::default(),
+            degrade: DegradePolicy::default(),
             sample_period_s: 60.0,
             service_time_factor: 1.0,
             consistent_hash_window: 0,
@@ -145,8 +156,133 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Exponential-backoff retry policy: attempt `k`'s re-enqueue is
+/// delayed by `base_s * factor^(k-1)`, jittered by up to
+/// `jitter_frac` from the simulation's own RNG stream (so backoff
+/// stays byte-deterministic). `base_s == 0` retries immediately,
+/// reproducing the pre-backoff cluster exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, seconds (0 = immediate).
+    pub base_s: f64,
+    /// Multiplier applied per additional attempt.
+    pub factor: f64,
+    /// Total attempt budget per job (first run included). A job whose
+    /// attempt count reaches this fails permanently.
+    pub max_attempts: u32,
+    /// Uniform jitter fraction in `[0, jitter_frac)` added to each
+    /// delay, drawn from the sim RNG.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_s: 0.0,
+            factor: 2.0,
+            max_attempts: 5,
+            jitter_frac: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before retrying a job that has already made
+    /// `attempts` attempts. Draws jitter from `rng` only when both the
+    /// base and the jitter are live, so disabling backoff leaves the
+    /// RNG stream untouched.
+    pub fn delay_s(&self, attempts: u32, rng: &mut Rng) -> f64 {
+        if self.base_s <= 0.0 {
+            return 0.0;
+        }
+        let d = self.base_s * self.factor.powi(attempts.saturating_sub(1) as i32);
+        if self.jitter_frac > 0.0 {
+            d * (1.0 + self.jitter_frac * rng.f64())
+        } else {
+            d
+        }
+    }
+}
+
+/// Per-job watchdog deadline: an attempt that has not completed by
+/// `grace_s + nominal_service * service_factor` is declared lost, its
+/// resources reclaimed, and the job retried. This is the only
+/// mechanism that notices a firmware hang.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogPolicy {
+    /// Fixed grace added to every deadline, seconds.
+    pub grace_s: f64,
+    /// Multiple of the attempt's *nominal* (healthy-hardware) service
+    /// time allowed before the watchdog fires.
+    pub service_factor: f64,
+}
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy {
+            grace_s: 30.0,
+            service_factor: 8.0,
+        }
+    }
+}
+
+/// Worker health scoring (§4.4): repeated watchdog/crash strikes
+/// demote a worker to draining; a drained worker takes a golden screen
+/// and either returns to service (bounded times) or is quarantined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Strikes (watchdog timeouts + crash aborts) before an active
+    /// worker is demoted to draining.
+    pub strike_threshold: u32,
+    /// How many times a worker may pass its post-drain screen and
+    /// return to service before strikes quarantine it for good.
+    pub max_recoveries: u32,
+    /// Periodic golden-screening cadence per worker, seconds
+    /// (0 disables; screening on failure detection always happens).
+    pub golden_period_s: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            strike_threshold: 3,
+            max_recoveries: 2,
+            golden_period_s: 0.0,
+        }
+    }
+}
+
+/// Lifecycle state of a worker from the fault-management plane's point
+/// of view (orthogonal to the chip-level [`HealthState`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerMgmtState {
+    /// In service, accepting placements.
+    Active,
+    /// Demoted by health scoring: finishes in-flight attempts, accepts
+    /// nothing new, then takes a golden screen.
+    Draining,
+    /// Failed screening (or detected corrupting); out of service until
+    /// a [`FaultKind::Repair`] arrives.
+    Quarantined,
+}
+
+/// Which codec path an attempt ran on — the rungs of the
+/// graceful-degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptMode {
+    /// Full hardware path.
+    Hw,
+    /// Hardware encode, software (host CPU) decode — the Fig. 9c
+    /// opportunistic offload.
+    SwDecode,
+    /// Hardware decode, software encode (ladder level 1).
+    SwEncode,
+    /// Full software fallback (ladder level 2).
+    SwFull,
+}
+
 /// Fault injections scheduled into a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultInjection {
     /// When the fault manifests.
     pub time_s: f64,
@@ -163,6 +299,28 @@ pub enum FaultKind {
     SilentCorruption,
     /// Hard failure: the VCU stops accepting work.
     Dead,
+    /// Firmware wedge: accepted jobs never complete; only the per-job
+    /// watchdog notices. A functional reset clears it.
+    FirmwareHang,
+    /// Degraded core: every job costs `factor_pct`/100 × nominal
+    /// cycles (tail-latency fault; 1600 = 16× slower).
+    SlowCore {
+        /// Slowdown in percent of nominal (≥ 100).
+        factor_pct: u32,
+    },
+    /// DRAM ECC storm: a stream of correctable errors that eventually
+    /// trips the chip's correctable-ECC limit and disables the VCU.
+    EccStorm {
+        /// Correctable errors recorded per one-second tick (clamped to
+        /// ≥ 1 so the storm provably terminates).
+        correctable_per_tick: u64,
+    },
+    /// Firmware crash-loop: attempts abort partway, the core resets
+    /// itself, and the next attempt crashes again until repaired.
+    CrashLoop,
+    /// Field repair (board swap / reflash): heals every chip-level
+    /// fault and returns the worker to service.
+    Repair,
 }
 
 #[derive(Debug, Clone)]
@@ -170,12 +328,36 @@ enum Event {
     Arrival(usize),
     Completion {
         job: usize,
+        attempt: u32,
         worker: usize,
         demand: ResourceDemand,
         corrupted: bool,
     },
     Fault(usize),
     Sample,
+    /// Per-attempt deadline; a no-op if the attempt already resolved.
+    Watchdog {
+        job: usize,
+        attempt: u32,
+        worker: usize,
+        demand: ResourceDemand,
+    },
+    /// Crash-looping firmware aborts the attempt partway through.
+    CrashAbort {
+        job: usize,
+        attempt: u32,
+        worker: usize,
+        demand: ResourceDemand,
+    },
+    /// Backoff expiry: the job re-enters the pending queue.
+    Retry(usize),
+    /// One tick of an ECC storm on a worker.
+    EccTick {
+        worker: usize,
+        correctable: u64,
+    },
+    /// Periodic fleet-wide golden screening pass.
+    GoldenScreen,
 }
 
 #[derive(Debug, Clone)]
@@ -190,10 +372,14 @@ struct JobState {
     touched_vcus: Vec<usize>,
     /// Completion time.
     finished_at: Option<f64>,
-    /// Whether the *most recent* attempt used software decode —
-    /// rewritten at every placement, so at resolution it reads as the
-    /// final attempt's decode mode.
-    sw_decode: bool,
+    /// Codec path of the *most recent* attempt — rewritten at every
+    /// placement, so at resolution it reads as the final attempt's
+    /// mode.
+    mode: AttemptMode,
+    /// Attempt number currently holding resources, if any. Completion,
+    /// watchdog, and crash-abort events all race to resolve an attempt;
+    /// whichever matches this number first wins and the rest are stale.
+    live_attempt: Option<u32>,
     /// Cached hardware resource demand (deterministic per job).
     demand: Option<ResourceDemand>,
 }
@@ -215,6 +401,11 @@ pub struct Sample {
     /// [`Priority::index`] — read straight off the per-class queues in
     /// O(1), so sampling cost is independent of backlog depth.
     pub queued_per_pool: [usize; 3],
+    /// Current rung of the graceful-degradation ladder (0 = full HW).
+    pub degrade_level: u8,
+    /// Workers currently usable (active management state and a chip
+    /// that accepts work).
+    pub usable_workers: usize,
 }
 
 /// Results of a simulation run.
@@ -238,6 +429,26 @@ pub struct ClusterReport {
     pub caught_corruptions: u64,
     /// Jobs whose successful attempt used software decode.
     pub sw_decoded_jobs: u64,
+    /// Jobs whose successful attempt used software *encode* (ladder
+    /// level ≥ 1).
+    pub sw_encoded_jobs: u64,
+    /// Jobs whose successful attempt ran the full software fallback.
+    pub sw_full_jobs: u64,
+    /// Batch jobs shed by the degradation ladder's last rung (a subset
+    /// of `failed`).
+    pub shed: u64,
+    /// Watchdog deadlines that fired on a live attempt.
+    pub watchdog_fired: u64,
+    /// Attempts aborted by crash-looping firmware.
+    pub crash_aborts: u64,
+    /// Field repairs applied.
+    pub repairs: u64,
+    /// Workers in quarantine at the end of the run.
+    pub quarantined_workers: u64,
+    /// p99 of the queueing delay underlying `mean_wait_s` (seconds).
+    pub p99_wait_s: f64,
+    /// Fraction of samples spent at each degradation-ladder rung.
+    pub degrade_time_frac: [f64; 4],
     /// Mean number of distinct VCUs that touched each video's chunks —
     /// the §4.4 blast-radius metric consistent hashing shrinks.
     pub mean_vcus_per_video: f64,
@@ -265,6 +476,10 @@ impl ClusterReport {
     }
 }
 
+/// How far a crash-looping firmware gets into an attempt before
+/// aborting, seconds (capped at the attempt's own service time).
+const CRASH_ABORT_S: f64 = 2.0;
+
 /// The simulator.
 #[derive(Debug)]
 pub struct ClusterSim {
@@ -273,8 +488,14 @@ pub struct ClusterSim {
     queue: EventQueue<Event>,
     scheduler: Scheduler,
     vcus: Vec<FaultyVcu>,
-    /// Worker quarantine (golden-test failed / awaiting repair).
-    quarantined: Vec<bool>,
+    /// Worker lifecycle in the fault-management plane.
+    mgmt: Vec<WorkerMgmtState>,
+    /// Health strikes (watchdog timeouts + crash aborts) per worker.
+    strikes: Vec<u32>,
+    /// Times each worker has passed a post-drain screen and returned.
+    recoveries: Vec<u32>,
+    /// Attempts currently holding resources on each worker.
+    in_flight_per_worker: Vec<u32>,
     jobs: Vec<JobState>,
     /// Pending job indices, one FIFO ring per priority class (indexed
     /// by [`Priority::index`]): O(1) enqueue and O(1) per-class depth,
@@ -282,7 +503,16 @@ pub struct ClusterSim {
     pending: [VecDeque<usize>; 3],
     faults: Vec<FaultInjection>,
     rng: Rng,
+    /// Golden-clip bytes, encoded once; periodic screening and
+    /// post-detection checks pass these through each VCU's data path
+    /// instead of re-encoding the clip per check.
+    golden_bytes: Vec<u8>,
     golden: u64,
+    /// Events still in the queue that can hand work to the cluster
+    /// (arrivals, backoff retries, fault injections — a pending
+    /// `Repair` can revive a dead fleet). While any remain, queued
+    /// jobs are not stranded.
+    reviving_events: usize,
     // Rolling metrics. Job outcomes are tallied exactly once, in
     // `handle_completion` — the single resolution point — instead of
     // re-scanning `jobs` at the end of the run.
@@ -298,7 +528,23 @@ pub struct ClusterSim {
     attempts_per_worker: Vec<u64>,
     wait_sum: f64,
     wait_count: u64,
+    /// Every first-placement wait, for the p99 percentile.
+    waits: Vec<f64>,
     sw_decoded: u64,
+    sw_encoded: u64,
+    sw_full: u64,
+    shed: u64,
+    watchdog_fired: u64,
+    crash_aborts: u64,
+    repairs: u64,
+    /// Jobs resolved so far (completed + failed); recurring events stop
+    /// rescheduling once this reaches the job count.
+    resolved: u64,
+    /// Sim time of the most recent job resolution (horizon input).
+    last_resolution_s: f64,
+    /// Current degradation-ladder rung and per-rung sample counts.
+    degrade_level: u8,
+    degrade_samples: [u64; 4],
     /// Jobs currently in service, per priority pool.
     running_per_pool: [u64; 3],
     /// Distinct VCUs that touched each video (blast radius), maintained
@@ -313,8 +559,13 @@ impl ClusterSim {
     pub fn new(cfg: ClusterConfig, jobs: Vec<JobSpec>, faults: Vec<FaultInjection>) -> Self {
         let scheduler =
             Scheduler::with_placement(cfg.scheduler, cfg.vcus, cfg.shards, cfg.placement);
+        // Per-worker corruption seeds come from a full SplitMix64 mix
+        // of (seed, worker): the old `seed ^ (i << 8)` derivation left
+        // streams differing only in shifted worker-id bits, and two
+        // base seeds could collide different workers onto the same
+        // stream.
         let vcus = (0..cfg.vcus)
-            .map(|i| FaultyVcu::new(cfg.seed ^ (i as u64) << 8))
+            .map(|i| FaultyVcu::new(vcu_rng::mix64(cfg.seed, i as u64)))
             .collect();
         // Every arrival and fault is scheduled up front; sizing the
         // heap once avoids rehash-style growth at 500k+ jobs.
@@ -326,21 +577,28 @@ impl ClusterSim {
             queue.schedule(f.time_s, Event::Fault(i));
         }
         queue.schedule(cfg.sample_period_s, Event::Sample);
+        if cfg.health.golden_period_s > 0.0 {
+            queue.schedule(cfg.health.golden_period_s, Event::GoldenScreen);
+        }
         let n_workers = cfg.vcus;
         let seed = cfg.seed;
         // Every submitted video participates in the blast-radius mean,
         // even if none of its chunks ever reach a VCU.
-        let touched_per_video = jobs
-            .iter()
-            .map(|j| (j.video_id, BTreeSet::new()))
-            .collect();
+        let touched_per_video = jobs.iter().map(|j| (j.video_id, BTreeSet::new())).collect();
+        let golden_bytes = golden_transcode_bytes();
+        let golden = checksum(&golden_bytes);
+        let n_jobs = jobs.len();
+        let reviving_events = n_jobs + faults.len();
         ClusterSim {
             cfg,
             model: VcuModel::new(),
             queue,
             scheduler,
             vcus,
-            quarantined: vec![false; n_workers],
+            mgmt: vec![WorkerMgmtState::Active; n_workers],
+            strikes: vec![0; n_workers],
+            recoveries: vec![0; n_workers],
+            in_flight_per_worker: vec![0; n_workers],
             jobs: jobs
                 .into_iter()
                 .map(|spec| JobState {
@@ -351,14 +609,17 @@ impl ClusterSim {
                     escaped_corruption: false,
                     touched_vcus: Vec::new(),
                     finished_at: None,
-                    sw_decode: false,
+                    mode: AttemptMode::Hw,
+                    live_attempt: None,
                     demand: None,
                 })
                 .collect(),
             pending: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
             faults,
             rng: Rng::seed_from_u64(seed),
-            golden: golden_expected(),
+            golden_bytes,
+            golden,
+            reviving_events,
             samples: Vec::new(),
             output_mpix_window: 0.0,
             total_output_mpix: 0.0,
@@ -371,7 +632,18 @@ impl ClusterSim {
             attempts_per_worker: vec![0; n_workers],
             wait_sum: 0.0,
             wait_count: 0,
+            waits: Vec::new(),
             sw_decoded: 0,
+            sw_encoded: 0,
+            sw_full: 0,
+            shed: 0,
+            watchdog_fired: 0,
+            crash_aborts: 0,
+            repairs: 0,
+            resolved: 0,
+            last_resolution_s: 0.0,
+            degrade_level: 0,
+            degrade_samples: [0; 4],
             running_per_pool: [0; 3],
             touched_per_video,
             telemetry: Registry::disabled(),
@@ -407,79 +679,126 @@ impl ClusterSim {
             let now = ev.time;
             match ev.event {
                 Event::Arrival(j) => {
-                    self.enqueue_pending(j);
+                    self.reviving_events -= 1;
+                    self.enqueue_pending(now, j);
                     self.try_schedule(now);
                 }
                 Event::Completion {
                     job,
+                    attempt,
                     worker,
                     demand,
                     corrupted,
                 } => {
-                    self.scheduler.release(worker, demand);
+                    if self.jobs[job].live_attempt != Some(attempt) {
+                        continue; // attempt already resolved by a watchdog/abort
+                    }
+                    if self.vcus[worker].is_hung() {
+                        // The firmware wedged mid-flight: this completion
+                        // never actually reported. The still-pending
+                        // watchdog reclaims the attempt.
+                        continue;
+                    }
+                    self.end_attempt(now, job, worker, demand);
                     self.handle_completion(now, job, worker, corrupted);
                     self.try_schedule(now);
                 }
+                Event::Watchdog {
+                    job,
+                    attempt,
+                    worker,
+                    demand,
+                } => {
+                    if self.jobs[job].live_attempt != Some(attempt) {
+                        continue; // completed in time; deadline is stale
+                    }
+                    self.end_attempt(now, job, worker, demand);
+                    self.watchdog_fired += 1;
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.counter_inc("cluster.watchdog.fired");
+                        self.telemetry.event(
+                            "cluster.watchdog.fired",
+                            self.job_scope(job, Some(worker)),
+                            now,
+                            attempt as f64,
+                        );
+                    }
+                    self.strike(now, worker);
+                    self.retry_or_fail(now, job, worker);
+                    self.try_schedule(now);
+                }
+                Event::CrashAbort {
+                    job,
+                    attempt,
+                    worker,
+                    demand,
+                } => {
+                    if self.jobs[job].live_attempt != Some(attempt) {
+                        continue;
+                    }
+                    self.end_attempt(now, job, worker, demand);
+                    self.crash_aborts += 1;
+                    // The firmware resets itself — that is the loop.
+                    self.vcus[worker].functional_reset();
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.counter_inc("cluster.crash_abort");
+                        self.telemetry.event(
+                            "cluster.crash_abort",
+                            self.job_scope(job, Some(worker)),
+                            now,
+                            attempt as f64,
+                        );
+                    }
+                    self.strike(now, worker);
+                    self.retry_or_fail(now, job, worker);
+                    self.try_schedule(now);
+                }
+                Event::Retry(j) => {
+                    self.reviving_events -= 1;
+                    self.enqueue_pending(now, j);
+                    self.try_schedule(now);
+                }
                 Event::Fault(f) => {
-                    let inj = self.faults[f].clone();
-                    match inj.kind {
-                        FaultKind::SilentCorruption => {
-                            self.vcus[inj.worker].inject_silent_corruption();
+                    self.reviving_events -= 1;
+                    self.apply_fault(now, f);
+                }
+                Event::EccTick {
+                    worker,
+                    correctable,
+                } => {
+                    self.vcus[worker].record_ecc(correctable, 0);
+                    if !self.vcus[worker].accepts_work() {
+                        // The storm tripped the correctable-ECC limit:
+                        // the chip disabled itself.
+                        self.scheduler.set_accepting(worker, false);
+                        if self.telemetry.is_enabled() {
+                            self.telemetry.counter_inc("cluster.ecc.disabled");
                             self.telemetry.event(
-                                "cluster.fault.silent_corruption",
-                                Scope::vcu(inj.worker as u32),
+                                "cluster.ecc.disabled",
+                                Scope::vcu(worker as u32),
                                 now,
                                 1.0,
                             );
                         }
-                        FaultKind::Dead => {
-                            self.vcus[inj.worker].disable();
-                            self.scheduler.set_accepting(inj.worker, false);
-                            self.telemetry.event(
-                                "cluster.fault.dead",
-                                Scope::vcu(inj.worker as u32),
-                                now,
-                                1.0,
-                            );
-                        }
+                    } else if self.resolved < self.jobs.len() as u64 {
+                        self.queue.schedule_in(
+                            1.0,
+                            Event::EccTick {
+                                worker,
+                                correctable,
+                            },
+                        );
+                    }
+                }
+                Event::GoldenScreen => {
+                    self.golden_screen_pass(now);
+                    if self.resolved < self.jobs.len() as u64 {
+                        self.queue
+                            .schedule_in(self.cfg.health.golden_period_s, Event::GoldenScreen);
                     }
                 }
                 Event::Sample => {
-                    let dt = self.cfg.sample_period_s;
-                    let queued_per_pool =
-                        [self.pending[0].len(), self.pending[1].len(), self.pending[2].len()];
-                    let s = Sample {
-                        time_s: now,
-                        encode_util: self.scheduler.encode_utilization(),
-                        decode_util: self.scheduler.decode_utilization(),
-                        mpix_s_per_vcu: self.output_mpix_window / dt / self.cfg.vcus as f64,
-                        queued: queued_per_pool.iter().sum(),
-                        queued_per_pool,
-                    };
-                    self.samples.push(s);
-                    if self.telemetry.is_enabled() {
-                        self.record_sample(&s);
-                    }
-                    self.output_mpix_window = 0.0;
-                    // Stranded-jobs guard: with jobs queued, nothing in
-                    // flight and no events left, no completion can ever
-                    // release capacity and nothing will ever call the
-                    // scheduler again — rescheduling the sampler would
-                    // livelock `run()` advancing only the clock. One
-                    // last unbounded scheduling pass (the regular path
-                    // gives up after a bounded number of head-of-line
-                    // misses), then whatever is still queued can never
-                    // run: resolve it as failed.
-                    if self.pending_len() > 0 && self.in_flight() == 0 && self.queue.is_empty() {
-                        self.try_schedule_capped(now, usize::MAX);
-                        if self.in_flight() == 0 {
-                            self.strand_pending(now);
-                        }
-                    }
-                    // Keep sampling while anything remains.
-                    if !self.queue.is_empty() || self.pending_len() > 0 {
-                        self.queue.schedule_in(dt, Event::Sample);
-                    }
+                    self.handle_sample(now);
                 }
             }
         }
@@ -488,13 +807,36 @@ impl ClusterSim {
             .last()
             .map(|s| s.time_s)
             .unwrap_or(0.0)
-            .max(self.queue.now());
+            .max(self.last_resolution_s);
         let mean_vcus_per_video = self.mean_blast_radius();
+        let quarantined_workers = self
+            .mgmt
+            .iter()
+            .filter(|&&m| m == WorkerMgmtState::Quarantined)
+            .count() as u64;
         if self.telemetry.is_enabled() {
-            self.telemetry
-                .gauge_set("cluster.blast_radius.mean_vcus_per_video", mean_vcus_per_video);
+            self.telemetry.gauge_set(
+                "cluster.blast_radius.mean_vcus_per_video",
+                mean_vcus_per_video,
+            );
             self.telemetry.gauge_set("cluster.horizon_s", horizon_s);
+            self.telemetry
+                .gauge_set("cluster.workers.quarantined", quarantined_workers as f64);
         }
+        let total_samples: u64 = self.degrade_samples.iter().sum();
+        let degrade_time_frac = if total_samples == 0 {
+            [0.0; 4]
+        } else {
+            self.degrade_samples
+                .map(|n| n as f64 / total_samples as f64)
+        };
+        self.waits.sort_by(f64::total_cmp);
+        let p99_wait_s = if self.waits.is_empty() {
+            0.0
+        } else {
+            let idx = ((self.waits.len() as f64 * 0.99).ceil() as usize).clamp(1, self.waits.len());
+            self.waits[idx - 1]
+        };
         ClusterReport {
             samples: self.samples,
             completed: self.completed,
@@ -504,6 +846,13 @@ impl ClusterSim {
             escaped_corruptions: self.escaped,
             caught_corruptions: self.caught,
             sw_decoded_jobs: self.sw_decoded,
+            sw_encoded_jobs: self.sw_encoded,
+            sw_full_jobs: self.sw_full,
+            shed: self.shed,
+            watchdog_fired: self.watchdog_fired,
+            crash_aborts: self.crash_aborts,
+            repairs: self.repairs,
+            quarantined_workers,
             mean_vcus_per_video,
             attempts_per_worker: self.attempts_per_worker,
             mean_wait_s: if self.wait_count == 0 {
@@ -511,8 +860,167 @@ impl ClusterSim {
             } else {
                 self.wait_sum / self.wait_count as f64
             },
+            p99_wait_s,
+            degrade_time_frac,
             total_output_mpix: self.total_output_mpix,
             horizon_s,
+        }
+    }
+
+    /// Applies injected fault `f` at time `now`.
+    fn apply_fault(&mut self, now: f64, f: usize) {
+        let inj = self.faults[f].clone();
+        let w = inj.worker;
+        match inj.kind {
+            FaultKind::SilentCorruption => {
+                self.vcus[w].inject_silent_corruption();
+                self.telemetry.event(
+                    "cluster.fault.silent_corruption",
+                    Scope::vcu(w as u32),
+                    now,
+                    1.0,
+                );
+            }
+            FaultKind::Dead => {
+                self.vcus[w].disable();
+                self.scheduler.set_accepting(w, false);
+                self.telemetry
+                    .event("cluster.fault.dead", Scope::vcu(w as u32), now, 1.0);
+            }
+            FaultKind::FirmwareHang => {
+                self.vcus[w].inject_hang();
+                self.telemetry
+                    .event("cluster.fault.hang", Scope::vcu(w as u32), now, 1.0);
+            }
+            FaultKind::SlowCore { factor_pct } => {
+                self.vcus[w].inject_slow(factor_pct as f64 / 100.0);
+                self.telemetry.event(
+                    "cluster.fault.slow_core",
+                    Scope::vcu(w as u32),
+                    now,
+                    factor_pct as f64 / 100.0,
+                );
+            }
+            FaultKind::EccStorm {
+                correctable_per_tick,
+            } => {
+                let correctable = correctable_per_tick.max(1);
+                self.telemetry.event(
+                    "cluster.fault.ecc_storm",
+                    Scope::vcu(w as u32),
+                    now,
+                    correctable as f64,
+                );
+                self.queue.schedule(
+                    now + 1.0,
+                    Event::EccTick {
+                        worker: w,
+                        correctable,
+                    },
+                );
+            }
+            FaultKind::CrashLoop => {
+                self.vcus[w].inject_crash_loop();
+                self.telemetry
+                    .event("cluster.fault.crash_loop", Scope::vcu(w as u32), now, 1.0);
+            }
+            FaultKind::Repair => {
+                self.vcus[w].repair();
+                self.mgmt[w] = WorkerMgmtState::Active;
+                self.strikes[w] = 0;
+                self.recoveries[w] = 0;
+                self.scheduler.set_accepting(w, true);
+                self.repairs += 1;
+                if self.telemetry.is_enabled() {
+                    self.telemetry.counter_inc("cluster.repair");
+                    self.telemetry
+                        .event("cluster.repair", Scope::vcu(w as u32), now, 1.0);
+                }
+                // A repaired worker may unblock queued work right now.
+                self.try_schedule(now);
+            }
+        }
+    }
+
+    /// One periodic golden-screening pass over the fleet (§4.4: don't
+    /// wait for a corrupt chunk to find a bad VCU — probe on a cadence).
+    fn golden_screen_pass(&mut self, now: f64) {
+        for w in 0..self.vcus.len() {
+            if self.mgmt[w] != WorkerMgmtState::Active || !self.vcus[w].accepts_work() {
+                continue;
+            }
+            if self.vcus[w].screen(&self.golden_bytes, self.golden) {
+                continue;
+            }
+            // Failed probe: a fresh worker attach resets the core and
+            // screens again — a plain hang clears, silicon faults stay.
+            self.vcus[w].functional_reset();
+            if self.vcus[w].screen(&self.golden_bytes, self.golden) {
+                if self.telemetry.is_enabled() {
+                    self.telemetry.counter_inc("cluster.screen.reset_recovered");
+                }
+                continue;
+            }
+            self.quarantine_worker(now, w);
+        }
+    }
+
+    /// One metrics sample: record, advance the degradation ladder, and
+    /// run the stranded-jobs guard.
+    fn handle_sample(&mut self, now: f64) {
+        let dt = self.cfg.sample_period_s;
+        let usable_workers = (0..self.vcus.len())
+            .filter(|&w| self.worker_usable(w))
+            .count();
+        // Degradation ladder: step one rung per sample toward the
+        // backlog-pressure target (hysteresis by construction).
+        let backlog = self.pending_len() as f64 / usable_workers.max(1) as f64;
+        let target = self.cfg.degrade.target_level(backlog);
+        match target.cmp(&self.degrade_level) {
+            std::cmp::Ordering::Greater => self.degrade_level += 1,
+            std::cmp::Ordering::Less => self.degrade_level -= 1,
+            std::cmp::Ordering::Equal => {}
+        }
+        if self.degrade_level == 3 {
+            self.shed_pending_batch(now);
+        }
+        self.degrade_samples[self.degrade_level as usize] += 1;
+        let queued_per_pool = [
+            self.pending[0].len(),
+            self.pending[1].len(),
+            self.pending[2].len(),
+        ];
+        let s = Sample {
+            time_s: now,
+            encode_util: self.scheduler.encode_utilization(),
+            decode_util: self.scheduler.decode_utilization(),
+            mpix_s_per_vcu: self.output_mpix_window / dt / self.cfg.vcus as f64,
+            queued: queued_per_pool.iter().sum(),
+            queued_per_pool,
+            degrade_level: self.degrade_level,
+            usable_workers,
+        };
+        self.samples.push(s);
+        if self.telemetry.is_enabled() {
+            self.record_sample(&s);
+        }
+        self.output_mpix_window = 0.0;
+        // Stranded-jobs guard: with jobs queued, nothing in flight, and
+        // no event left that could hand the cluster work (no arrival,
+        // no backoff retry, no fault — a pending Repair counts as
+        // hope), no completion can ever release capacity. One last
+        // unbounded scheduling pass (the regular path gives up after a
+        // bounded number of head-of-line misses), then whatever is
+        // still queued can never run: resolve it as failed.
+        if self.pending_len() > 0 && self.in_flight() == 0 && self.reviving_events == 0 {
+            self.try_schedule_capped(now, usize::MAX);
+            if self.in_flight() == 0 {
+                self.strand_pending(now);
+            }
+        }
+        // Keep sampling while any job is unresolved.
+        if self.resolved < self.jobs.len() as u64 {
+            self.queue.schedule_in(dt, Event::Sample);
         }
     }
 
@@ -520,8 +1028,10 @@ impl ClusterSim {
     /// timestamps). Feeds the Fig. 9-style utilization dashboards.
     fn record_sample(&self, s: &Sample) {
         let t = s.time_s;
-        self.telemetry.series_record("cluster.util.encode", t, s.encode_util);
-        self.telemetry.series_record("cluster.util.decode", t, s.decode_util);
+        self.telemetry
+            .series_record("cluster.util.encode", t, s.encode_util);
+        self.telemetry
+            .series_record("cluster.util.decode", t, s.decode_util);
         self.telemetry
             .series_record("cluster.throughput.mpix_s_per_vcu", t, s.mpix_s_per_vcu);
         self.telemetry
@@ -531,6 +1041,10 @@ impl ClusterSim {
             t,
             self.mean_blast_radius(),
         );
+        self.telemetry
+            .series_record("cluster.degrade.level", t, s.degrade_level as f64);
+        self.telemetry
+            .series_record("cluster.workers.usable", t, s.usable_workers as f64);
         for p in Priority::ALL {
             self.telemetry.series_record(
                 p.running_series(),
@@ -552,12 +1066,36 @@ impl ClusterSim {
         self.running_per_pool.iter().sum()
     }
 
-    fn enqueue_pending(&mut self, j: usize) {
+    fn enqueue_pending(&mut self, now: f64, j: usize) {
+        // Ladder level 3: Batch work is shed at the door instead of
+        // queueing into a cluster that cannot keep up.
+        if self.degrade_level == 3 && self.jobs[j].spec.priority == Priority::Batch {
+            self.shed_job(now, j);
+            return;
+        }
         // O(1): each class is its own FIFO; scheduling visits classes
         // Critical → Normal → Batch, so cross-class order is positional
         // and within-class order is enqueue order — exactly the old
         // sorted-insert semantics without the O(n) `Vec::insert`.
         self.pending[self.jobs[j].spec.priority.index()].push_back(j);
+    }
+
+    /// Sheds one Batch job (ladder level 3): resolved as failed, with
+    /// a dedicated tally so shed load is distinguishable from faults.
+    fn shed_job(&mut self, now: f64, j: usize) {
+        self.resolve_job(now, j, None, true, false);
+        self.shed += 1;
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter_inc("cluster.jobs.shed");
+        }
+    }
+
+    /// Sheds every queued Batch job (entering ladder level 3).
+    fn shed_pending_batch(&mut self, now: f64) {
+        let batch = Priority::Batch.index();
+        for j in std::mem::take(&mut self.pending[batch]) {
+            self.shed_job(now, j);
+        }
     }
 
     fn try_schedule(&mut self, now: f64) {
@@ -596,6 +1134,23 @@ impl ClusterSim {
                     host_mcpu: hw_demand.host_mcpu + hw_demand.millidecode * 2,
                     ..hw_demand
                 };
+                // Ladder rungs: software encode trades the scarce
+                // encoder millicores for host CPU (a full VCU's 10k
+                // milliencode maps onto one 5k-mCPU host); full SW
+                // additionally takes the decode conversion.
+                let swe_demand = ResourceDemand {
+                    milliencode: 0,
+                    host_mcpu: hw_demand.host_mcpu + hw_demand.milliencode / 2,
+                    ..hw_demand
+                };
+                let swf_demand = ResourceDemand {
+                    millidecode: 0,
+                    milliencode: 0,
+                    host_mcpu: hw_demand.host_mcpu
+                        + hw_demand.millidecode * 2
+                        + hw_demand.milliencode / 2,
+                    ..hw_demand
+                };
                 let decode_hot = self.scheduler.decode_utilization() > 0.9;
                 // Consistent-hash placement (§4.4 future work): chunks
                 // of a video only consider a bounded worker subset
@@ -615,28 +1170,44 @@ impl ClusterSim {
                     let shard_size = n.div_ceil(self.cfg.shards.max(1)).max(1);
                     ((shard % self.cfg.shards.max(1)) * shard_size, n)
                 };
-                let mut used_sw_decode = false;
+                // Candidate (mode, demand) pairs in placement
+                // preference order for the current ladder rung. Level 0
+                // preserves the original Fig. 9c precedence exactly.
+                let mut candidates: [Option<(AttemptMode, ResourceDemand)>; 3] = [None, None, None];
+                match self.degrade_level {
+                    0 => {
+                        if self.cfg.opportunistic_sw_decode && decode_hot {
+                            candidates[0] = Some((AttemptMode::SwDecode, sw_demand));
+                            candidates[1] = Some((AttemptMode::Hw, hw_demand));
+                        } else if self.cfg.opportunistic_sw_decode {
+                            candidates[0] = Some((AttemptMode::Hw, hw_demand));
+                            candidates[1] = Some((AttemptMode::SwDecode, sw_demand));
+                        } else {
+                            candidates[0] = Some((AttemptMode::Hw, hw_demand));
+                        }
+                    }
+                    1 => {
+                        candidates[0] = Some((AttemptMode::SwEncode, swe_demand));
+                        candidates[1] = Some((AttemptMode::Hw, hw_demand));
+                        if self.cfg.opportunistic_sw_decode {
+                            candidates[2] = Some((AttemptMode::SwDecode, sw_demand));
+                        }
+                    }
+                    _ => {
+                        candidates[0] = Some((AttemptMode::SwFull, swf_demand));
+                        candidates[1] = Some((AttemptMode::SwEncode, swe_demand));
+                        candidates[2] = Some((AttemptMode::Hw, hw_demand));
+                    }
+                }
+                let mut mode = AttemptMode::Hw;
                 let mut demand = hw_demand;
                 let mut placed = None;
-                if self.cfg.opportunistic_sw_decode && decode_hot {
-                    placed = self.scheduler.place_from(sw_demand, start, window);
+                for cand in candidates.into_iter().flatten() {
+                    placed = self.scheduler.place_from(cand.1, start, window);
                     if placed.is_some() {
-                        demand = sw_demand;
-                        used_sw_decode = true;
-                    }
-                }
-                if placed.is_none() {
-                    placed = self.scheduler.place_from(hw_demand, start, window);
-                    if placed.is_some() {
-                        demand = hw_demand;
-                        used_sw_decode = false;
-                    }
-                }
-                if placed.is_none() && self.cfg.opportunistic_sw_decode && !decode_hot {
-                    placed = self.scheduler.place_from(sw_demand, start, window);
-                    if placed.is_some() {
-                        demand = sw_demand;
-                        used_sw_decode = true;
+                        mode = cand.0;
+                        demand = cand.1;
+                        break;
                     }
                 }
                 match placed {
@@ -644,7 +1215,7 @@ impl ClusterSim {
                         // `i` is bounded by the miss cap, so this
                         // removal shifts at most `max_misses` entries.
                         self.pending[class].remove(i);
-                        self.start_job(now, j, w, demand, used_sw_decode);
+                        self.start_job(now, j, w, demand, mode);
                     }
                     Some(w) => {
                         // Worker exists but its VCU is quarantined or
@@ -664,26 +1235,47 @@ impl ClusterSim {
     }
 
     fn worker_usable(&self, w: usize) -> bool {
-        !self.quarantined[w] && self.vcus[w].accepts_work()
+        self.mgmt[w] == WorkerMgmtState::Active && self.vcus[w].accepts_work()
     }
 
-    fn start_job(&mut self, now: f64, j: usize, w: usize, demand: ResourceDemand, sw: bool) {
+    /// Service-time multiplier of a codec path (software rungs are
+    /// slower; that is the price of graceful degradation).
+    fn mode_service_factor(&self, mode: AttemptMode) -> f64 {
+        match mode {
+            AttemptMode::Hw | AttemptMode::SwDecode => 1.0,
+            AttemptMode::SwEncode => self.cfg.degrade.sw_encode_service_factor,
+            AttemptMode::SwFull => self.cfg.degrade.sw_full_service_factor,
+        }
+    }
+
+    fn start_job(
+        &mut self,
+        now: f64,
+        j: usize,
+        w: usize,
+        demand: ResourceDemand,
+        mode: AttemptMode,
+    ) {
         let job = &mut self.jobs[j];
         job.attempts += 1;
         job.touched_vcus.push(w);
-        // Per-attempt, not sticky: a retry that lands on hardware decode
-        // after a software-decode attempt must clear the flag, or
-        // `sw_decoded_jobs` (tallied at resolution from the *final*
-        // attempt's mode) over-counts.
-        job.sw_decode = sw;
+        // Per-attempt, not sticky: a retry that lands on hardware
+        // after a software-path attempt must rewrite the mode, or the
+        // per-mode job tallies (taken at resolution from the *final*
+        // attempt) over-count.
+        job.mode = mode;
+        let attempt = job.attempts;
+        job.live_attempt = Some(attempt);
         self.attempts_per_worker[w] += 1;
-        let first_attempt = job.attempts == 1;
+        self.in_flight_per_worker[w] += 1;
+        let first_attempt = attempt == 1;
         if first_attempt {
             // Queueing delay is arrival → *first* placement, once per
             // job; retried jobs must not re-enter the mean with
             // ever-growing waits.
             self.wait_sum += now - job.spec.arrival_s;
             self.wait_count += 1;
+            self.waits.push(now - job.spec.arrival_s);
         }
         self.running_per_pool[job.spec.priority.index()] += 1;
         self.touched_per_video
@@ -700,21 +1292,137 @@ impl ClusterSim {
 
         let corrupting = self.vcus[w].state() == HealthState::SilentlyCorrupting;
         // A failing-but-fast VCU races through work (§4.4's black-hole
-        // hazard); healthy VCUs take the chunk's real-time duration.
-        let service = if corrupting {
-            job.spec.job.duration_s * 0.2
+        // hazard); healthy VCUs take the chunk's real-time duration,
+        // scaled by the codec path and any slow-core fault.
+        let base = if corrupting {
+            self.jobs[j].spec.job.duration_s * 0.2
         } else {
-            job.spec.job.duration_s * self.cfg.service_time_factor
+            self.jobs[j].spec.job.duration_s * self.cfg.service_time_factor
         };
+        let service = base * self.mode_service_factor(mode) * self.vcus[w].slow_factor();
+        if self.vcus[w].is_crash_looping() {
+            // The firmware gets partway in and crashes; the attempt
+            // never completes cleanly.
+            self.queue.schedule(
+                now + service.clamp(0.01, CRASH_ABORT_S),
+                Event::CrashAbort {
+                    job: j,
+                    attempt,
+                    worker: w,
+                    demand,
+                },
+            );
+        } else if !self.vcus[w].is_hung() {
+            self.queue.schedule(
+                now + service.max(0.01),
+                Event::Completion {
+                    job: j,
+                    attempt,
+                    worker: w,
+                    demand,
+                    corrupted: corrupting,
+                },
+            );
+        }
+        // A hung VCU schedules nothing: only this deadline notices.
+        let nominal = self.jobs[j].spec.job.duration_s * self.cfg.service_time_factor;
         self.queue.schedule(
-            now + service.max(0.01),
-            Event::Completion {
+            now + self.cfg.watchdog.grace_s + nominal * self.cfg.watchdog.service_factor,
+            Event::Watchdog {
                 job: j,
+                attempt,
                 worker: w,
                 demand,
-                corrupted: corrupting,
             },
         );
+    }
+
+    /// Releases the resources of job `j`'s live attempt on worker `w`
+    /// and completes the worker's drain if this was its last in-flight
+    /// attempt. Exactly one of completion / watchdog / crash-abort
+    /// reaches this per attempt.
+    fn end_attempt(&mut self, now: f64, j: usize, w: usize, demand: ResourceDemand) {
+        self.jobs[j].live_attempt = None;
+        self.scheduler.release(w, demand);
+        self.running_per_pool[self.jobs[j].spec.priority.index()] -= 1;
+        self.in_flight_per_worker[w] -= 1;
+        if self.mgmt[w] == WorkerMgmtState::Draining && self.in_flight_per_worker[w] == 0 {
+            self.finish_drain(now, w);
+        }
+    }
+
+    /// Registers a health strike against worker `w`; at the threshold
+    /// an active worker is demoted to draining (it finishes in-flight
+    /// work, then screens).
+    fn strike(&mut self, now: f64, w: usize) {
+        self.strikes[w] += 1;
+        if self.mgmt[w] == WorkerMgmtState::Active
+            && self.strikes[w] >= self.cfg.health.strike_threshold
+        {
+            self.mgmt[w] = WorkerMgmtState::Draining;
+            self.scheduler.set_accepting(w, false);
+            if self.telemetry.is_enabled() {
+                self.telemetry.counter_inc("cluster.worker.draining");
+                self.telemetry
+                    .event("cluster.worker.draining", Scope::vcu(w as u32), now, 1.0);
+            }
+            if self.in_flight_per_worker[w] == 0 {
+                self.finish_drain(now, w);
+            }
+        }
+    }
+
+    /// A draining worker's last attempt finished: functional reset,
+    /// golden screen, and either bounded reactivation or quarantine.
+    fn finish_drain(&mut self, now: f64, w: usize) {
+        self.vcus[w].functional_reset();
+        if self.vcus[w].screen(&self.golden_bytes, self.golden)
+            && self.recoveries[w] < self.cfg.health.max_recoveries
+        {
+            self.mgmt[w] = WorkerMgmtState::Active;
+            self.strikes[w] = 0;
+            self.recoveries[w] += 1;
+            self.scheduler.set_accepting(w, true);
+            if self.telemetry.is_enabled() {
+                self.telemetry.counter_inc("cluster.worker.reactivated");
+                self.telemetry
+                    .event("cluster.worker.reactivated", Scope::vcu(w as u32), now, 1.0);
+            }
+            self.try_schedule(now);
+        } else {
+            self.quarantine_worker(now, w);
+        }
+    }
+
+    /// Moves worker `w` to quarantine (idempotent; only the transition
+    /// is an observable event).
+    fn quarantine_worker(&mut self, now: f64, w: usize) {
+        if self.mgmt[w] != WorkerMgmtState::Quarantined {
+            self.telemetry.counter_inc("cluster.quarantine");
+            self.telemetry
+                .event("cluster.quarantine", Scope::vcu(w as u32), now, 1.0);
+        }
+        self.mgmt[w] = WorkerMgmtState::Quarantined;
+        self.scheduler.set_accepting(w, false);
+    }
+
+    /// Retries job `j` (with backoff) or resolves it failed when its
+    /// attempt budget is spent. `w` is the worker of the failing
+    /// attempt.
+    fn retry_or_fail(&mut self, now: f64, j: usize, w: usize) {
+        if self.jobs[j].attempts >= self.cfg.retry.max_attempts {
+            self.resolve_job(now, j, Some(w), true, false);
+            return;
+        }
+        self.retries += 1;
+        self.telemetry.counter_inc("cluster.retries");
+        let delay = self.cfg.retry.delay_s(self.jobs[j].attempts, &mut self.rng);
+        if delay <= 0.0 {
+            self.enqueue_pending(now, j);
+        } else {
+            self.reviving_events += 1;
+            self.queue.schedule(now + delay, Event::Retry(j));
+        }
     }
 
     /// Telemetry scope for job `j`, optionally pinned to the worker `w`
@@ -737,6 +1445,8 @@ impl ClusterSim {
         job.done = true;
         job.failed = failed;
         job.escaped_corruption = escaped;
+        self.resolved += 1;
+        self.last_resolution_s = self.last_resolution_s.max(now);
         if !failed {
             job.finished_at = Some(now);
             let mpix = job.spec.job.output_pixels() / 1e6;
@@ -747,14 +1457,28 @@ impl ClusterSim {
             self.failed += 1;
         } else {
             self.completed += 1;
-            // Count software decode per *job*, from the successful
-            // (final) attempt's mode — not per attempt in `start_job`,
-            // which inflated the tally whenever a sw-decode attempt was
-            // retried.
-            if self.jobs[j].sw_decode {
-                self.sw_decoded += 1;
-                if self.telemetry.is_enabled() {
-                    self.telemetry.counter_inc("cluster.sw_decode");
+            // Count codec path per *job*, from the successful (final)
+            // attempt's mode — not per attempt in `start_job`, which
+            // would inflate the tallies whenever an attempt is retried.
+            match self.jobs[j].mode {
+                AttemptMode::Hw => {}
+                AttemptMode::SwDecode => {
+                    self.sw_decoded += 1;
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.counter_inc("cluster.sw_decode");
+                    }
+                }
+                AttemptMode::SwEncode => {
+                    self.sw_encoded += 1;
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.counter_inc("cluster.sw_encode");
+                    }
+                }
+                AttemptMode::SwFull => {
+                    self.sw_full += 1;
+                    if self.telemetry.is_enabled() {
+                        self.telemetry.counter_inc("cluster.sw_full");
+                    }
                 }
             }
         }
@@ -773,7 +1497,11 @@ impl ClusterSim {
             let arrival = self.jobs[j].spec.arrival_s;
             let attempts = self.jobs[j].attempts;
             self.telemetry.span(
-                if failed { "cluster.job.failed" } else { "cluster.job" },
+                if failed {
+                    "cluster.job.failed"
+                } else {
+                    "cluster.job"
+                },
                 self.job_scope(j, w),
                 arrival,
                 now,
@@ -802,39 +1530,22 @@ impl ClusterSim {
     }
 
     fn handle_completion(&mut self, now: f64, j: usize, w: usize, corrupted: bool) {
-        self.running_per_pool[self.jobs[j].spec.priority.index()] -= 1;
         if corrupted {
-            let detected =
-                self.cfg.integrity_checks && self.rng.gen_bool(self.cfg.detection_rate);
+            let detected = self.cfg.integrity_checks && self.rng.gen_bool(self.cfg.detection_rate);
             if detected {
                 self.caught += 1;
                 self.telemetry.counter_inc("cluster.corruption.caught");
                 if self.cfg.blackhole_mitigation {
                     // §4.4: the worker aborts everything on this VCU;
-                    // a fresh worker runs the golden test, which a
-                    // corrupting VCU fails — quarantining it.
+                    // a fresh worker screens against the golden clip,
+                    // which a corrupting VCU fails — quarantining it.
                     self.vcus[w].functional_reset();
-                    if !golden_test(&self.vcus[w], self.golden) {
-                        // Completions already in flight when the VCU was
-                        // first quarantined re-run this path; only the
-                        // transition itself is an observable event.
-                        if !self.quarantined[w] {
-                            self.telemetry.counter_inc("cluster.quarantine");
-                            self.telemetry
-                                .event("cluster.quarantine", Scope::vcu(w as u32), now, 1.0);
-                        }
-                        self.quarantined[w] = true;
-                        self.scheduler.set_accepting(w, false);
+                    if !self.vcus[w].screen(&self.golden_bytes, self.golden) {
+                        self.quarantine_worker(now, w);
                     }
                 }
-                // Retry at cluster level.
-                if self.jobs[j].attempts > self.cfg.max_retries {
-                    self.resolve_job(now, j, Some(w), true, false);
-                } else {
-                    self.retries += 1;
-                    self.telemetry.counter_inc("cluster.retries");
-                    self.enqueue_pending(j);
-                }
+                // Retry at cluster level, with backoff.
+                self.retry_or_fail(now, j, w);
                 return;
             }
             // Undetected corruption ships (the paper admits "the system
@@ -935,7 +1646,10 @@ mod tests {
                 vcus: 4,
                 blackhole_mitigation: mitigate,
                 detection_rate: 1.0,
-                max_retries: 10,
+                retry: RetryPolicy {
+                    max_attempts: 11,
+                    ..RetryPolicy::default()
+                },
                 seed: 7,
                 ..ClusterConfig::default()
             };
@@ -954,9 +1668,9 @@ mod tests {
             without.retries,
             with.retries
         );
-        let share =
-            |r: &ClusterReport| r.attempts_per_worker[0] as f64
-                / r.attempts_per_worker.iter().sum::<u64>() as f64;
+        let share = |r: &ClusterReport| {
+            r.attempts_per_worker[0] as f64 / r.attempts_per_worker.iter().sum::<u64>() as f64
+        };
         assert!(
             share(&without) > share(&with),
             "black-hole share {} vs mitigated {}",
@@ -1206,8 +1920,14 @@ mod tests {
         assert_eq!(reg.counter("cluster.jobs.completed"), report.completed);
         assert_eq!(reg.counter("cluster.jobs.failed"), report.failed);
         assert_eq!(reg.counter("cluster.retries"), report.retries);
-        assert_eq!(reg.counter("cluster.corruption.caught"), report.caught_corruptions);
-        assert_eq!(reg.counter("cluster.corruption.escaped"), report.escaped_corruptions);
+        assert_eq!(
+            reg.counter("cluster.corruption.caught"),
+            report.caught_corruptions
+        );
+        assert_eq!(
+            reg.counter("cluster.corruption.escaped"),
+            report.escaped_corruptions
+        );
         assert_eq!(
             reg.counter("cluster.attempts"),
             report.attempts_per_worker.iter().sum::<u64>()
@@ -1239,6 +1959,378 @@ mod tests {
         assert_eq!(plain.total_output_mpix, traced.total_output_mpix);
         assert_eq!(plain.attempts_per_worker, traced.attempts_per_worker);
         assert_eq!(plain.mean_vcus_per_video, traced.mean_vcus_per_video);
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            base_s: 2.0,
+            factor: 2.0,
+            max_attempts: 5,
+            jitter_frac: 0.25,
+        };
+        let seq = |seed| {
+            let mut rng = Rng::seed_from_u64(seed);
+            (1..5).map(|a| p.delay_s(a, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(9), seq(9), "same seed, same backoff");
+        for (i, &d) in seq(9).iter().enumerate() {
+            let base = 2.0 * 2.0f64.powi(i as i32);
+            assert!(
+                d >= base && d < base * 1.25,
+                "attempt {}: {d} vs {base}",
+                i + 1
+            );
+        }
+        // No jitter → exact exponential, and no RNG draw at all.
+        let exact = RetryPolicy {
+            jitter_frac: 0.0,
+            ..p
+        };
+        let mut rng = Rng::seed_from_u64(1);
+        let before = rng.clone();
+        assert_eq!(exact.delay_s(3, &mut rng), 8.0);
+        assert_eq!(
+            rng.next_u64(),
+            before.clone().next_u64(),
+            "no draw without jitter"
+        );
+        // Disabled backoff never draws either.
+        let mut rng2 = Rng::seed_from_u64(1);
+        assert_eq!(RetryPolicy::default().delay_s(3, &mut rng2), 0.0);
+        assert_eq!(rng2.next_u64(), before.clone().next_u64());
+    }
+
+    #[test]
+    fn firmware_hang_is_rescued_by_the_watchdog() {
+        // Worker 0 hangs before the only job arrives; the completion
+        // never fires and only the watchdog deadline reclaims the
+        // attempt, retrying onto worker 1.
+        let cfg = ClusterConfig {
+            vcus: 2,
+            consistent_hash_window: 0,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 0.0,
+            worker: 0,
+            kind: FaultKind::FirmwareHang,
+        }];
+        let jobs = vec![JobSpec {
+            arrival_s: 1.0,
+            job: TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0),
+            priority: Priority::Normal,
+            video_id: 0,
+        }];
+        let report = ClusterSim::new(cfg, jobs, faults).run();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failed, 0);
+        // First-fit keeps feeding worker 0 until three strikes demote
+        // it to draining; the post-drain functional reset clears the
+        // hang, the screen passes, and the reactivated worker finishes
+        // the job.
+        assert_eq!(report.watchdog_fired, 3, "one deadline per strike");
+        assert_eq!(report.retries, 3);
+        assert_eq!(report.attempts_per_worker, vec![4, 0]);
+        assert_eq!(
+            report.quarantined_workers, 0,
+            "a reset-curable wedge recovers"
+        );
+    }
+
+    #[test]
+    fn hang_mid_flight_suppresses_the_scheduled_completion() {
+        // The job starts on a healthy worker 0, then the firmware
+        // wedges mid-service: the already-scheduled completion must not
+        // count, and the watchdog rescues the attempt.
+        let cfg = ClusterConfig {
+            vcus: 2,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 1.0,
+            worker: 0,
+            kind: FaultKind::FirmwareHang,
+        }];
+        let jobs = vec![JobSpec {
+            arrival_s: 0.0,
+            job: TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0),
+            priority: Priority::Normal,
+            video_id: 0,
+        }];
+        let report = ClusterSim::new(cfg, jobs, faults).run();
+        assert_eq!(report.completed, 1);
+        assert!(
+            report.watchdog_fired >= 1,
+            "the completion at t≈5 must be suppressed in favour of the deadline"
+        );
+        assert!(
+            report.horizon_s > 30.0,
+            "resolution waits for the watchdog deadline"
+        );
+    }
+
+    #[test]
+    fn slow_core_attempts_time_out_and_reroute() {
+        // A 16× slow core turns a 5 s job into 80 s — past the 30+8×5
+        // = 70 s watchdog deadline. The attempt is reclaimed and
+        // retried; repeated strikes demote the slow worker.
+        let cfg = ClusterConfig {
+            vcus: 2,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 0.0,
+            worker: 0,
+            kind: FaultKind::SlowCore { factor_pct: 1600 },
+        }];
+        let report = ClusterSim::new(cfg, upload_jobs(20, 1.0, true), faults).run();
+        // A slow core *passes* its screen (slow output is correct
+        // output), so it bounces back `max_recoveries` times before
+        // quarantine — a handful of jobs can burn their whole attempt
+        // budget on it meanwhile.
+        assert_eq!(report.completed + report.failed, 20);
+        assert!(
+            report.completed >= 18,
+            "completed only {}",
+            report.completed
+        );
+        assert!(
+            report.watchdog_fired >= 3,
+            "slow attempts must hit the deadline"
+        );
+        assert_eq!(
+            report.watchdog_fired,
+            report.retries + report.failed,
+            "every deadline either retried the job or spent its final attempt"
+        );
+        // The healthy worker ends up with the overwhelming share.
+        assert!(
+            report.attempts_per_worker[1] > report.attempts_per_worker[0],
+            "attempts: {:?}",
+            report.attempts_per_worker
+        );
+    }
+
+    #[test]
+    fn crash_loop_is_quarantined_after_strikes() {
+        let cfg = ClusterConfig {
+            vcus: 2,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![FaultInjection {
+            time_s: 0.0,
+            worker: 0,
+            kind: FaultKind::CrashLoop,
+        }];
+        let report = ClusterSim::new(cfg, upload_jobs(20, 1.0, true), faults).run();
+        assert_eq!(report.completed, 20, "crashes only cost retries");
+        assert!(
+            report.crash_aborts >= 3,
+            "strikes accumulate: {}",
+            report.crash_aborts
+        );
+        assert_eq!(
+            report.quarantined_workers, 1,
+            "the post-drain screen fails a crash-looping core"
+        );
+    }
+
+    #[test]
+    fn ecc_storm_disables_the_vcu_and_work_reroutes() {
+        let cfg = ClusterConfig {
+            vcus: 2,
+            ..ClusterConfig::default()
+        };
+        // 100 correctable/s trips the 1000-error limit after 10 ticks.
+        let faults = vec![FaultInjection {
+            time_s: 0.0,
+            worker: 0,
+            kind: FaultKind::EccStorm {
+                correctable_per_tick: 100,
+            },
+        }];
+        let report = ClusterSim::new(cfg, upload_jobs(40, 1.0, true), faults).run();
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.failed, 0, "redundancy absorbs the disabled VCU");
+        // After the storm disables worker 0 (t≈10), everything runs on
+        // worker 1.
+        assert!(
+            report.attempts_per_worker[1] > report.attempts_per_worker[0],
+            "attempts: {:?}",
+            report.attempts_per_worker
+        );
+    }
+
+    #[test]
+    fn repair_revives_a_dead_fleet_instead_of_stranding() {
+        // The lone VCU dies before any job arrives — the old stranding
+        // scenario — but a field repair is scheduled: the sim must wait
+        // for it rather than failing the queue.
+        let cfg = ClusterConfig {
+            vcus: 1,
+            ..ClusterConfig::default()
+        };
+        let faults = vec![
+            FaultInjection {
+                time_s: 0.0,
+                worker: 0,
+                kind: FaultKind::Dead,
+            },
+            FaultInjection {
+                time_s: 200.0,
+                worker: 0,
+                kind: FaultKind::Repair,
+            },
+        ];
+        let mut jobs = upload_jobs(8, 1.0, false);
+        for j in &mut jobs {
+            j.arrival_s += 1.0;
+        }
+        let report = ClusterSim::new(cfg, jobs, faults).run();
+        assert_eq!(report.completed, 8, "repair must revive the fleet");
+        assert_eq!(report.stranded, 0);
+        assert_eq!(report.repairs, 1);
+        assert!(report.mean_wait_s > 100.0, "jobs waited out the outage");
+    }
+
+    #[test]
+    fn periodic_screening_catches_a_corruptor_without_integrity_checks() {
+        // No integrity checks and no detected failures: only the
+        // periodic golden screen can find the silently corrupting VCU.
+        let run = |golden_period_s: f64| {
+            let cfg = ClusterConfig {
+                vcus: 4,
+                integrity_checks: false,
+                health: HealthPolicy {
+                    golden_period_s,
+                    ..HealthPolicy::default()
+                },
+                ..ClusterConfig::default()
+            };
+            let faults = vec![FaultInjection {
+                time_s: 0.0,
+                worker: 0,
+                kind: FaultKind::SilentCorruption,
+            }];
+            ClusterSim::new(cfg, upload_jobs(200, 0.2, true), faults).run()
+        };
+        let unscreened = run(0.0);
+        let screened = run(10.0);
+        assert!(unscreened.escaped_corruptions > 0);
+        assert_eq!(unscreened.quarantined_workers, 0);
+        assert_eq!(
+            screened.quarantined_workers, 1,
+            "screening quarantines the VCU"
+        );
+        assert!(
+            screened.escaped_corruptions < unscreened.escaped_corruptions,
+            "screening bounds the blast radius: {} vs {}",
+            screened.escaped_corruptions,
+            unscreened.escaped_corruptions
+        );
+    }
+
+    #[test]
+    fn degradation_ladder_sheds_batch_only_at_the_top_rung() {
+        // Swamp a tiny cluster far beyond its capacity with mixed
+        // priorities and a ladder that arms quickly: levels must rise
+        // one rung per sample, software fallbacks must carry jobs, and
+        // Batch work is shed while Critical work survives.
+        let mut jobs: Vec<JobSpec> = (0..400)
+            .map(|i| JobSpec {
+                arrival_s: (i as f64) * 0.05,
+                job: TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0),
+                priority: match i % 4 {
+                    0 => Priority::Critical,
+                    3 => Priority::Batch,
+                    _ => Priority::Normal,
+                },
+                video_id: i as u64 / 4,
+            })
+            .collect();
+        jobs.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        let cfg = ClusterConfig {
+            vcus: 2,
+            sample_period_s: 10.0,
+            degrade: DegradePolicy {
+                enabled: true,
+                backlog_per_worker: [2.0, 6.0, 12.0],
+                ..DegradePolicy::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let report = ClusterSim::new(cfg, jobs, vec![]).run();
+        let max_level = report
+            .samples
+            .iter()
+            .map(|s| s.degrade_level)
+            .max()
+            .unwrap();
+        assert_eq!(max_level, 3, "the overload must climb the whole ladder");
+        // One rung per sample in either direction.
+        for w in report.samples.windows(2) {
+            assert!(
+                (w[1].degrade_level as i32 - w[0].degrade_level as i32).abs() <= 1,
+                "ladder moved more than one rung per sample"
+            );
+        }
+        assert!(report.shed > 0, "level 3 must shed Batch work");
+        assert!(
+            report.sw_encoded_jobs > 0,
+            "level ≥1 must run software encodes"
+        );
+        assert!(
+            report.degrade_time_frac.iter().sum::<f64>() > 0.999,
+            "rung time fractions must partition the run"
+        );
+        // Shedding hits Batch only: all failures are shed Batch jobs.
+        assert_eq!(report.failed, report.shed);
+        assert_eq!(report.completed + report.failed, 400);
+    }
+
+    #[test]
+    fn degraded_ladder_preserves_goodput_under_quarantine_wave() {
+        // Kill most of the fleet mid-run. Without the ladder the
+        // backlog explodes against the survivors; with it, software
+        // fallback keeps goodput flowing and nothing is stranded.
+        let jobs: Vec<JobSpec> = (0..300)
+            .map(|i| JobSpec {
+                arrival_s: i as f64 * 0.2,
+                job: TranscodeJob::mot(Resolution::R720, Profile::Vp9Sim, 30.0, 5.0),
+                priority: Priority::Normal,
+                video_id: i as u64,
+            })
+            .collect();
+        let faults: Vec<FaultInjection> = (0..6)
+            .map(|w| FaultInjection {
+                time_s: 10.0,
+                worker: w,
+                kind: FaultKind::Dead,
+            })
+            .collect();
+        let cfg = ClusterConfig {
+            vcus: 8,
+            sample_period_s: 10.0,
+            degrade: DegradePolicy {
+                enabled: true,
+                backlog_per_worker: [2.0, 6.0, 12.0],
+                ..DegradePolicy::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let report = ClusterSim::new(cfg, jobs, faults).run();
+        assert_eq!(report.completed + report.failed, 300);
+        assert_eq!(report.stranded, 0);
+        assert!(
+            report.samples.iter().any(|s| s.usable_workers == 2),
+            "samples must expose the shrunken fleet"
+        );
+        assert!(
+            report.completed >= 290,
+            "no Normal-priority collapse: {}",
+            report.completed
+        );
     }
 
     #[test]

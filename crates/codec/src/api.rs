@@ -55,7 +55,11 @@ pub struct Encoded {
 impl Encoded {
     /// Average bitrate of the displayable stream in bits/second.
     pub fn bitrate_bps(&self) -> f64 {
-        let displayable = self.frames.iter().filter(|f| f.kind.is_displayable()).count();
+        let displayable = self
+            .frames
+            .iter()
+            .filter(|f| f.kind.is_displayable())
+            .count();
         if displayable == 0 {
             return 0.0;
         }
@@ -149,7 +153,11 @@ pub fn encode_traced(
             cfg.rc,
             RateControl::Bitrate { pass, .. } if pass.has_first_pass()
         );
-    let fp_stats = if needs_fp { first_pass(video) } else { Vec::new() };
+    let fp_stats = if needs_fp {
+        first_pass(video)
+    } else {
+        Vec::new()
+    };
 
     let kinds = plan_frame_kinds(
         cfg,
@@ -189,7 +197,8 @@ pub fn encode_traced(
             let center = (i + cfg.altref_period / 2).min(n - 1);
             let lookahead = pass.lookahead(i, n);
             if center > i && center - i <= lookahead {
-                let window: Vec<&Frame> = video.frames[i..=(center + 1).min(n - 1)].iter().collect();
+                let window: Vec<&Frame> =
+                    video.frames[i..=(center + 1).min(n - 1)].iter().collect();
                 let (filtered, fstats) =
                     temporal_filter_with_stats(&window, center - i, &mut stats);
                 // Gate 1: the filter must have found temporally
@@ -487,10 +496,7 @@ pub fn decode(bytes: &[u8]) -> Result<Decoded, CodecError> {
         let qp = Qp::new(r.u8()?);
         let len = r.u32()? as usize;
         let payload = r.take(len)?;
-        let checksum = {
-            
-            r.u32()?
-        };
+        let checksum = { r.u32()? };
         if fnv1a(payload) != checksum {
             return Err(CodecError::CorruptBitstream("frame checksum mismatch"));
         }
@@ -602,7 +608,10 @@ mod tests {
         let e = encode(&cfg, &v).unwrap();
         let achieved = e.bitrate_bps();
         let err = (achieved - target as f64).abs() / target as f64;
-        assert!(err < 0.35, "bitrate {achieved:.0} vs target {target} (err {err:.2})");
+        assert!(
+            err < 0.35,
+            "bitrate {achieved:.0} vs target {target} (err {err:.2})"
+        );
     }
 
     #[test]
@@ -698,8 +707,14 @@ mod tests {
         let seq = encode_parallel(&base.with_threads(1), &v, 4).unwrap();
         for threads in [2usize, 4] {
             let par = encode_parallel(&base.with_threads(threads), &v, 4).unwrap();
-            assert_eq!(seq.bytes, par.bytes, "threads={threads} changed the bitstream");
-            assert_eq!(seq.stats, par.stats, "threads={threads} changed merged stats");
+            assert_eq!(
+                seq.bytes, par.bytes,
+                "threads={threads} changed the bitstream"
+            );
+            assert_eq!(
+                seq.stats, par.stats,
+                "threads={threads} changed merged stats"
+            );
             assert_eq!(seq.frames, par.frames);
         }
     }
@@ -808,11 +823,7 @@ mod lagged_tests {
     #[test]
     fn lagged_two_pass_allows_bounded_altrefs() {
         let v = SynthSpec::new(Resolution::R144, 20, ContentClass::talking_head(), 6).generate();
-        let mut cfg = EncoderConfig::bitrate(
-            Profile::Vp9Sim,
-            700_000,
-            PassMode::TwoPassLagged(12),
-        );
+        let mut cfg = EncoderConfig::bitrate(Profile::Vp9Sim, 700_000, PassMode::TwoPassLagged(12));
         cfg.altref_period = 8;
         let e = encode(&cfg, &v).unwrap();
         // A 12-frame lag window covers the altref lookahead (period/2),
@@ -828,11 +839,7 @@ mod lagged_tests {
     #[test]
     fn zero_lookahead_suppresses_altrefs() {
         let v = SynthSpec::new(Resolution::R144, 16, ContentClass::talking_head(), 6).generate();
-        let mut cfg = EncoderConfig::bitrate(
-            Profile::Vp9Sim,
-            700_000,
-            PassMode::TwoPassLowLatency,
-        );
+        let mut cfg = EncoderConfig::bitrate(Profile::Vp9Sim, 700_000, PassMode::TwoPassLowLatency);
         cfg.altref_period = 8;
         let e = encode(&cfg, &v).unwrap();
         assert!(

@@ -29,11 +29,15 @@ pub(crate) struct TileScratch {
     pub(crate) recon: Vec<i16>,
 }
 
-
 /// Iterates tiles of granularity `t` covering a `bw x bh` block,
 /// calling `f(tx, ty, tw, th)` with tile-local offsets and actual
 /// (possibly partial) tile dimensions.
-pub(crate) fn for_each_tile(bw: usize, bh: usize, t: usize, mut f: impl FnMut(usize, usize, usize, usize)) {
+pub(crate) fn for_each_tile(
+    bw: usize,
+    bh: usize,
+    t: usize,
+    mut f: impl FnMut(usize, usize, usize, usize),
+) {
     let mut ty = 0;
     while ty < bh {
         let th = t.min(bh - ty);
@@ -259,7 +263,17 @@ mod tests {
         let mut me = Models::new();
         let mut ts = TileScratch::default();
         encode_tile(
-            &mut enc, &mut me, &residual, 8, 8, 8, Qp::new(0), 0.5, false, &mut stats, &mut ts,
+            &mut enc,
+            &mut me,
+            &residual,
+            8,
+            8,
+            8,
+            Qp::new(0),
+            0.5,
+            false,
+            &mut stats,
+            &mut ts,
         );
         let max_err = residual
             .iter()
@@ -278,7 +292,17 @@ mod tests {
         let mut me = Models::new();
         let mut ts = TileScratch::default();
         encode_tile(
-            &mut enc, &mut me, &residual, 8, 8, 8, Qp::new(30), 0.5, false, &mut stats, &mut ts,
+            &mut enc,
+            &mut me,
+            &residual,
+            8,
+            8,
+            8,
+            Qp::new(30),
+            0.5,
+            false,
+            &mut stats,
+            &mut ts,
         );
         // Flush dominates; payload must be tiny.
         assert!(enc.finish().len() <= 6);

@@ -279,12 +279,7 @@ impl AdaptiveModel {
 
 /// Writes a non-negative integer with a unary prefix + exp-Golomb tail,
 /// using `model` contexts `base..base+8` for the prefix bits.
-pub fn write_uint(
-    enc: &mut BoolEncoder,
-    model: &mut AdaptiveModel,
-    base: usize,
-    v: u32,
-) {
+pub fn write_uint(enc: &mut BoolEncoder, model: &mut AdaptiveModel, base: usize, v: u32) {
     // Unary-coded bucket: 0, 1, 2, 3, then exp-Golomb remainder.
     let bucket = (v.min(3)) as usize;
     for i in 0..bucket {
@@ -404,9 +399,7 @@ mod tests {
     fn adaptive_model_stays_in_sync() {
         let mut enc = BoolEncoder::new();
         let mut m_enc = AdaptiveModel::new(4);
-        let bits: Vec<(usize, bool)> = (0..500)
-            .map(|i| (i % 4, (i * 7) % 13 < 4))
-            .collect();
+        let bits: Vec<(usize, bool)> = (0..500).map(|i| (i % 4, (i * 7) % 13 < 4)).collect();
         for &(ctx, b) in &bits {
             m_enc.encode(&mut enc, ctx, b);
         }

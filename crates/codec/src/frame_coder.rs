@@ -300,7 +300,9 @@ impl FrameEnc<'_> {
         }
         if size > 16 {
             let split = self.should_split(x, y, size);
-            self.models.partition.encode(&mut self.enc, depth.min(1), split);
+            self.models
+                .partition
+                .encode(&mut self.enc, depth.min(1), split);
             if split {
                 let half = size / 2;
                 self.code_block(x, y, half, depth + 1);
@@ -407,16 +409,36 @@ impl FrameEnc<'_> {
                 compound,
             } => {
                 write_uint(&mut self.enc, &mut self.models.ref_idx, 0, *ref_idx as u32);
-                write_int(&mut self.enc, &mut self.models.mv_x, 0, (mv.x - self.last_mv.x) as i32);
-                write_int(&mut self.enc, &mut self.models.mv_y, 0, (mv.y - self.last_mv.y) as i32);
+                write_int(
+                    &mut self.enc,
+                    &mut self.models.mv_x,
+                    0,
+                    (mv.x - self.last_mv.x) as i32,
+                );
+                write_int(
+                    &mut self.enc,
+                    &mut self.models.mv_y,
+                    0,
+                    (mv.y - self.last_mv.y) as i32,
+                );
                 if self.cfg.profile.supports_compound() && self.refs.len() >= 2 {
                     self.models
                         .compound
                         .encode(&mut self.enc, 0, compound.is_some());
                     if let Some((r2, mv2)) = compound {
                         write_uint(&mut self.enc, &mut self.models.ref_idx, 4, *r2 as u32);
-                        write_int(&mut self.enc, &mut self.models.mv_x, 4, (mv2.x - mv.x) as i32);
-                        write_int(&mut self.enc, &mut self.models.mv_y, 4, (mv2.y - mv.y) as i32);
+                        write_int(
+                            &mut self.enc,
+                            &mut self.models.mv_x,
+                            4,
+                            (mv2.x - mv.x) as i32,
+                        );
+                        write_int(
+                            &mut self.enc,
+                            &mut self.models.mv_y,
+                            4,
+                            (mv2.y - mv.y) as i32,
+                        );
                     }
                 }
                 self.stats.inter_blocks += 1;
@@ -446,11 +468,9 @@ impl FrameEnc<'_> {
         compute_residual(&cur_blk, &pred, &mut residual);
         let t = if t_full > 4 {
             let split_tx = tx_split_heuristic(&residual, bw, bh, t_full, self.qp);
-            self.models.tx_split.encode(
-                &mut self.enc,
-                crate::models::tx_class(t_full),
-                split_tx,
-            );
+            self.models
+                .tx_split
+                .encode(&mut self.enc, crate::models::tx_class(t_full), split_tx);
             if split_tx {
                 t_full / 2
             } else {
@@ -478,7 +498,9 @@ impl FrameEnc<'_> {
                         tile_res[r * tw + c] = residual[(ty + r) * bw + tx + c];
                     }
                 }
-                encode_tile(enc, models, tile_res, tw, th, t, qp, deadzone, trellis, stats, tile);
+                encode_tile(
+                    enc, models, tile_res, tw, th, t, qp, deadzone, trellis, stats, tile,
+                );
                 for r in 0..th {
                     for c in 0..tw {
                         let p = pred[(ty + r) * bw + tx + c];
@@ -594,7 +616,14 @@ impl FrameEnc<'_> {
         self.scratch.recon_blk = recon_blk;
     }
 
-    fn choose_mode(&mut self, x: usize, y: usize, bw: usize, bh: usize, cur_blk: &[u8]) -> BlockMode {
+    fn choose_mode(
+        &mut self,
+        x: usize,
+        y: usize,
+        bw: usize,
+        bh: usize,
+        cur_blk: &[u8],
+    ) -> BlockMode {
         let lambda_sad = 0.9 * self.qp.step() * self.cfg.toolset.lambda_scale();
         let use_satd = self.cfg.toolset.satd_ranking();
         let metric = |cur: &[u8], pred: &[u8], stats: &mut CodingStats| -> u64 {
@@ -772,7 +801,13 @@ struct FrameDec<'a> {
 }
 
 impl FrameDec<'_> {
-    fn code_block(&mut self, x: usize, y: usize, size: usize, depth: usize) -> Result<(), CodecError> {
+    fn code_block(
+        &mut self,
+        x: usize,
+        y: usize,
+        size: usize,
+        depth: usize,
+    ) -> Result<(), CodecError> {
         let (w, h) = (self.recon.width(), self.recon.height());
         if x >= w || y >= h {
             return Ok(());
@@ -1086,7 +1121,8 @@ mod tests {
             let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(qp));
             let mut stats = CodingStats::new();
             let refs = RefSlots::new();
-            let (payload, _) = encode_frame(&cfg, f, FrameKind::Key, Qp::new(qp), &refs, &mut stats);
+            let (payload, _) =
+                encode_frame(&cfg, f, FrameKind::Key, Qp::new(qp), &refs, &mut stats);
             sizes.push(payload.len());
         }
         assert!(

@@ -15,19 +15,22 @@ pub mod api;
 pub(crate) mod block;
 pub mod config;
 pub mod deblock;
-pub mod frame_coder;
-pub mod models;
-pub mod rc;
 pub mod entropy;
+pub mod frame_coder;
 pub mod intra;
+pub mod models;
 pub mod motion;
 pub mod quant;
+pub mod rc;
 pub mod stats;
 pub mod tempfilter;
 pub mod transform;
 pub mod types;
 
-pub use api::{decode, encode, encode_batch, encode_parallel, encode_parallel_traced, encode_traced, CodedFrameInfo, Decoded, Encoded};
+pub use api::{
+    decode, encode, encode_batch, encode_parallel, encode_parallel_traced, encode_traced,
+    CodedFrameInfo, Decoded, Encoded,
+};
 pub use config::{env_threads, EncoderConfig, PassMode, RateControl, Toolset, TuningLevel};
 pub use stats::CodingStats;
 pub use types::{CodecError, FrameKind, MotionVector, Profile, Qp};

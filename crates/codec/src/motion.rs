@@ -123,7 +123,16 @@ pub fn search(
 ) -> SearchResult {
     let mut scratch = MotionScratch::new();
     search_scratch(
-        reference, current, x, y, bw, bh, predictor, params, stats, &mut scratch,
+        reference,
+        current,
+        x,
+        y,
+        bw,
+        bh,
+        predictor,
+        params,
+        stats,
+        &mut scratch,
     )
 }
 
@@ -289,7 +298,9 @@ mod tests {
 
     fn textured() -> Plane {
         Plane::from_fn(64, 64, |x, y| {
-            (((x * 3) ^ (y * 7)) as u8).wrapping_mul(13).wrapping_add(40)
+            (((x * 3) ^ (y * 7)) as u8)
+                .wrapping_mul(13)
+                .wrapping_add(40)
         })
     }
 
@@ -372,12 +383,26 @@ mod tests {
         let mut hw_stats = CodingStats::new();
         let mut sw_stats = CodingStats::new();
         search(
-            &reference, &current, 16, 16, 16, 16,
-            MotionVector::ZERO, &SearchParams::hardware(), &mut hw_stats,
+            &reference,
+            &current,
+            16,
+            16,
+            16,
+            16,
+            MotionVector::ZERO,
+            &SearchParams::hardware(),
+            &mut hw_stats,
         );
         search(
-            &reference, &current, 16, 16, 16, 16,
-            MotionVector::ZERO, &SearchParams::software(), &mut sw_stats,
+            &reference,
+            &current,
+            16,
+            16,
+            16,
+            16,
+            MotionVector::ZERO,
+            &SearchParams::software(),
+            &mut sw_stats,
         );
         assert!(sw_stats.sad_pixels > hw_stats.sad_pixels);
     }
@@ -394,8 +419,15 @@ mod tests {
         };
         let mut stats = CodingStats::new();
         let r = search(
-            &reference, &current, 32, 32, 16, 16,
-            MotionVector::ZERO, &params, &mut stats,
+            &reference,
+            &current,
+            32,
+            32,
+            16,
+            16,
+            MotionVector::ZERO,
+            &params,
+            &mut stats,
         );
         assert!(r.mv.x.abs() <= 4 * 2 + 1, "mv beyond range: {:?}", r.mv);
     }
@@ -492,12 +524,16 @@ mod satd_tests {
         // noise higher even at equal SAD.
         let cur = vec![128u8; 64];
         let flat: Vec<u8> = vec![120u8; 64]; // SAD 512, all DC
-        // Pseudo-random ±8 noise: same SAD, energy smeared across the
-        // whole spectrum instead of compacting into one coefficient.
+                                             // Pseudo-random ±8 noise: same SAD, energy smeared across the
+                                             // whole spectrum instead of compacting into one coefficient.
         let noisy: Vec<u8> = (0..64u32)
             .map(|i| {
                 let h = i.wrapping_mul(2654435761) >> 28;
-                if h % 2 == 0 { 120 } else { 136 }
+                if h % 2 == 0 {
+                    120
+                } else {
+                    136
+                }
             })
             .collect();
         let s_flat = satd(&cur, &flat, 8, 8);

@@ -86,7 +86,11 @@ mod tests {
         let mut back = vec![0.0; coeffs.len()];
         dequantize(&levels, qp, &mut back);
         for (c, b) in coeffs.iter().zip(&back) {
-            assert!((c - b).abs() <= step * 0.5 + 1e-9, "error {} > step/2", c - b);
+            assert!(
+                (c - b).abs() <= step * 0.5 + 1e-9,
+                "error {} > step/2",
+                c - b
+            );
         }
     }
 

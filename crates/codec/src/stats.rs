@@ -210,7 +210,11 @@ mod tests {
         a.sad_pixels = 1000;
         let w = a.work_units();
         a.sad_pixels_examined = 400;
-        assert_eq!(a.work_units(), w, "early-exit metering must not move device charges");
+        assert_eq!(
+            a.work_units(),
+            w,
+            "early-exit metering must not move device charges"
+        );
     }
 
     #[test]

@@ -360,8 +360,7 @@ mod tests {
                     for k in 0..n {
                         acc += tmp2[y * n + k] * b[k * n + x];
                     }
-                    naive_i[y * n + x] =
-                        acc.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+                    naive_i[y * n + x] = acc.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
                 }
             }
             let mut fast_i = vec![0i16; n * n];

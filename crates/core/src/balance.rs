@@ -134,7 +134,11 @@ mod tests {
         // Table 2: 55 logical cores and 514 Gbps at 153 Gpix/s —
         // "about half of what the target host system provides".
         let h = host_scaling(153.0);
-        assert!((50.0..60.0).contains(&h.total_cores()), "{}", h.total_cores());
+        assert!(
+            (50.0..60.0).contains(&h.total_cores()),
+            "{}",
+            h.total_cores()
+        );
         assert!(
             (480.0..550.0).contains(&h.total_dram_gbps()),
             "{}",
@@ -174,8 +178,16 @@ mod tests {
     #[test]
     fn attachment_limits_match_a2() {
         let l = attachment_limits();
-        assert!((25.0..35.0).contains(&l.realtime_vcus), "{}", l.realtime_vcus);
-        assert!((120.0..180.0).contains(&l.offline_vcus), "{}", l.offline_vcus);
+        assert!(
+            (25.0..35.0).contains(&l.realtime_vcus),
+            "{}",
+            l.realtime_vcus
+        );
+        assert!(
+            (120.0..180.0).contains(&l.offline_vcus),
+            "{}",
+            l.offline_vcus
+        );
         // Production choice (20) is comfortably under both.
         assert!((l.chosen as f64) < l.realtime_vcus * 1.5);
         assert!((l.chosen as f64) < l.offline_vcus);

@@ -51,11 +51,7 @@ impl ChunkPlan {
     /// Panics if `i` is out of range.
     pub fn range(&self, i: usize) -> (usize, usize) {
         let start = self.starts[i];
-        let end = self
-            .starts
-            .get(i + 1)
-            .copied()
-            .unwrap_or(self.total_frames);
+        let end = self.starts.get(i + 1).copied().unwrap_or(self.total_frames);
         (start, end)
     }
 }
@@ -94,18 +90,12 @@ pub fn encode_chunks(
 ///
 /// Returns [`CodecError::CorruptBitstream`] when the assembled length
 /// differs from `expected_frames` — the blast-radius containment check.
-pub fn assemble(
-    decoded_chunks: Vec<Video>,
-    expected_frames: usize,
-) -> Result<Video, CodecError> {
+pub fn assemble(decoded_chunks: Vec<Video>, expected_frames: usize) -> Result<Video, CodecError> {
     let fps = decoded_chunks
         .first()
         .map(|v| v.fps)
         .ok_or(CodecError::CorruptBitstream("no chunks to assemble"))?;
-    let frames: Vec<_> = decoded_chunks
-        .into_iter()
-        .flat_map(|v| v.frames)
-        .collect();
+    let frames: Vec<_> = decoded_chunks.into_iter().flat_map(|v| v.frames).collect();
     if frames.len() != expected_frames {
         return Err(CodecError::CorruptBitstream(
             "assembled length does not match input",
@@ -117,9 +107,12 @@ pub fn assemble(
 /// End-to-end check that a chunked encode round-trips: every chunk's
 /// first coded frame must be a keyframe (decode independence).
 pub fn chunks_are_independent(encoded: &[vcu_codec::Encoded]) -> bool {
-    encoded
-        .iter()
-        .all(|e| e.frames.first().map(|f| f.kind == FrameKind::Key).unwrap_or(false))
+    encoded.iter().all(|e| {
+        e.frames
+            .first()
+            .map(|f| f.kind == FrameKind::Key)
+            .unwrap_or(false)
+    })
 }
 
 #[cfg(test)]

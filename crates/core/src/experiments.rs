@@ -4,12 +4,9 @@
 //! `vcu-bench` harness binaries print them, and the integration tests
 //! assert their shape. Everything is deterministic in its seed.
 
-
 use vcu_chip::TranscodeJob;
 use vcu_cluster::{ClusterConfig, ClusterSim, JobSpec, Priority};
-use vcu_codec::{
-    decode, encode, EncoderConfig, Profile, Qp, RateControl, TuningLevel,
-};
+use vcu_codec::{decode, encode, EncoderConfig, Profile, Qp, RateControl, TuningLevel};
 use vcu_media::bdrate::{bd_rate, BdRateError, RdPoint};
 use vcu_media::quality::psnr_y_video;
 use vcu_media::{Resolution, Video};
@@ -292,12 +289,7 @@ pub fn fig9c(months: usize, switch_month: usize, seed: u64) -> Vec<DecodePoint> 
             .filter(|s| s.time_s <= horizon)
             .collect();
         let util = mean(&samples.iter().map(|s| s.decode_util).collect::<Vec<_>>());
-        let thr = mean(
-            &samples
-                .iter()
-                .map(|s| s.mpix_s_per_vcu)
-                .collect::<Vec<_>>(),
-        );
+        let thr = mean(&samples.iter().map(|s| s.mpix_s_per_vcu).collect::<Vec<_>>());
         out.push(DecodePoint {
             month: m,
             hw_decode_util: util,

@@ -106,12 +106,7 @@ impl TaskGraph {
     pub fn waves(&self) -> Vec<Vec<usize>> {
         let mut level = vec![0usize; self.steps.len()];
         for s in &self.steps {
-            level[s.id] = s
-                .deps
-                .iter()
-                .map(|&d| level[d] + 1)
-                .max()
-                .unwrap_or(0);
+            level[s.id] = s.deps.iter().map(|&d| level[d] + 1).max().unwrap_or(0);
         }
         let max_level = level.iter().copied().max().unwrap_or(0);
         let mut waves = vec![Vec::new(); max_level + 1];
@@ -134,7 +129,10 @@ impl TaskGraph {
         for c in 0..chunks {
             if mot {
                 transcodes.push(g.add(
-                    StepKind::TranscodeChunk { chunk: c, mot: true },
+                    StepKind::TranscodeChunk {
+                        chunk: c,
+                        mot: true,
+                    },
                     vec![analyze],
                 ));
             } else {
@@ -190,22 +188,14 @@ mod tests {
         let g = TaskGraph::upload(4, true, 6);
         // analyze + 4 transcodes + assemble + thumb + fp + notify = 9.
         assert_eq!(g.len(), 9);
-        let transcodes = g
-            .steps()
-            .iter()
-            .filter(|s| s.kind.vcu_eligible())
-            .count();
+        let transcodes = g.steps().iter().filter(|s| s.kind.vcu_eligible()).count();
         assert_eq!(transcodes, 4);
     }
 
     #[test]
     fn upload_graph_shape_sot_multiplies() {
         let g = TaskGraph::upload(4, false, 6);
-        let transcodes = g
-            .steps()
-            .iter()
-            .filter(|s| s.kind.vcu_eligible())
-            .count();
+        let transcodes = g.steps().iter().filter(|s| s.kind.vcu_eligible()).count();
         assert_eq!(transcodes, 24, "one SOT step per chunk per rung");
     }
 

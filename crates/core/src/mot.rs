@@ -149,7 +149,10 @@ mod tests {
         // Identical outputs either way (same codec, same inputs).
         assert_eq!(mot.outputs.len(), sot.outputs.len());
         for ((_, a), (_, b)) in mot.outputs.iter().zip(&sot.outputs) {
-            assert_eq!(a.bytes, b.bytes, "MOT and SOT must produce identical streams");
+            assert_eq!(
+                a.bytes, b.bytes,
+                "MOT and SOT must produce identical streams"
+            );
         }
     }
 }

@@ -159,8 +159,8 @@ pub fn live_latency_s(chunk_s: f64, encode_speed_factor: f64, buffer_chunks: f64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vcu_workloads::PopularityBucket;
     use vcu_media::Resolution;
+    use vcu_workloads::PopularityBucket;
 
     fn upload_req(duration_s: f64) -> Request {
         Request {
@@ -177,7 +177,7 @@ mod tests {
     fn mot_platform_emits_one_job_per_chunk_per_format() {
         let p = Platform::default();
         let jobs = p.jobs_for(&upload_req(12.0)); // 3 chunks
-        // 3 chunks × 2 formats (H.264 + VP9).
+                                                  // 3 chunks × 2 formats (H.264 + VP9).
         assert_eq!(jobs.len(), 6);
         assert!(jobs.iter().all(|j| j.job.is_mot()));
         assert!(jobs.iter().all(|j| j.arrival_s == 10.0));
@@ -190,7 +190,7 @@ mod tests {
             ..PlatformConfig::default()
         });
         let jobs = p.jobs_for(&upload_req(4.0)); // 1 chunk
-        // 1 chunk × 2 formats × 6 ladder rungs.
+                                                 // 1 chunk × 2 formats × 6 ladder rungs.
         assert_eq!(jobs.len(), 12);
         assert!(jobs.iter().all(|j| !j.job.is_mot()));
     }

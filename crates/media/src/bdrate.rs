@@ -168,8 +168,7 @@ impl Poly3 {
     /// Definite integral over [lo, hi].
     fn integral(&self, lo: f64, hi: f64) -> f64 {
         let anti = |x: f64| {
-            x * (self.c[0]
-                + x * (self.c[1] / 2.0 + x * (self.c[2] / 3.0 + x * self.c[3] / 4.0)))
+            x * (self.c[0] + x * (self.c[1] / 2.0 + x * (self.c[2] / 3.0 + x * self.c[3] / 4.0)))
         };
         anti(hi) - anti(lo)
     }

@@ -388,10 +388,8 @@ impl Plane {
                         let r1 = &self.data[base + self.width..base + self.width + bw + 1];
                         let out = &mut dst[by * bw..(by + 1) * bw];
                         for (i, o) in out.iter_mut().enumerate() {
-                            let s = r0[i] as u16
-                                + r0[i + 1] as u16
-                                + r1[i] as u16
-                                + r1[i + 1] as u16;
+                            let s =
+                                r0[i] as u16 + r0[i + 1] as u16 + r1[i] as u16 + r1[i + 1] as u16;
                             *o = ((s + 2) >> 2) as u8;
                         }
                     }
@@ -575,7 +573,9 @@ mod tests {
         let mut state = 0x9E3779B97F4A7C15u64;
         for _ in 0..4096 {
             let mut next = || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             };
             let q = [next(), next(), next(), next()];

@@ -91,8 +91,10 @@ pub fn ssim_y(a: &Frame, b: &Frame) -> f64 {
     while y + W <= ph {
         let mut x = 0;
         while x + W <= pw {
-            a.y().copy_block_clamped(x as isize, y as isize, W, W, &mut ba);
-            b.y().copy_block_clamped(x as isize, y as isize, W, W, &mut bb);
+            a.y()
+                .copy_block_clamped(x as isize, y as isize, W, W, &mut ba);
+            b.y()
+                .copy_block_clamped(x as isize, y as isize, W, W, &mut bb);
             total += ssim_window(&ba, &bb, C1, C2);
             windows += 1;
             x += W;
@@ -132,7 +134,9 @@ mod tests {
     use crate::plane::Plane;
 
     fn textured(seed: u8) -> Frame {
-        let y = Plane::from_fn(32, 32, |x, yy| ((x * 31 + yy * 17) as u8).wrapping_add(seed));
+        let y = Plane::from_fn(32, 32, |x, yy| {
+            ((x * 31 + yy * 17) as u8).wrapping_add(seed)
+        });
         let u = Plane::from_fn(16, 16, |_, _| 128);
         let v = Plane::from_fn(16, 16, |_, _| 128);
         Frame::from_planes(y, u, v)

@@ -71,7 +71,10 @@ fn bilinear(src: &Plane, dw: usize, dh: usize) -> Plane {
 /// Panics if `dw`/`dh` are zero or odd.
 pub fn scale_frame(src: &Frame, dw: usize, dh: usize) -> Frame {
     assert!(dw > 0 && dh > 0, "target dimensions must be nonzero");
-    assert!(dw.is_multiple_of(2) && dh.is_multiple_of(2), "4:2:0 requires even dimensions");
+    assert!(
+        dw.is_multiple_of(2) && dh.is_multiple_of(2),
+        "4:2:0 requires even dimensions"
+    );
     Frame::from_planes(
         scale_plane(src.y(), dw, dh),
         scale_plane(src.u(), dw / 2, dh / 2),
@@ -110,7 +113,12 @@ mod tests {
     fn non_integer_factor_preserves_mean() {
         let p = Plane::from_fn(854, 480, |x, y| ((x + y) % 256) as u8);
         let s = scale_plane(&p, 640, 360);
-        assert!((p.mean() - s.mean()).abs() < 1.5, "means {} vs {}", p.mean(), s.mean());
+        assert!(
+            (p.mean() - s.mean()).abs() < 1.5,
+            "means {} vs {}",
+            p.mean(),
+            s.mean()
+        );
     }
 
     #[test]

@@ -404,7 +404,10 @@ mod tests {
         let v = small(ContentClass::high_motion(), 3, 5);
         assert_ne!(v.frames[0], v.frames[1]);
         let p = psnr_y(&v.frames[0], &v.frames[1]);
-        assert!(p < 40.0, "consecutive high-motion frames too similar: {p} dB");
+        assert!(
+            p < 40.0,
+            "consecutive high-motion frames too similar: {p} dB"
+        );
     }
 
     #[test]
@@ -435,7 +438,11 @@ mod tests {
         let busy = value_noise_plane(64, 64, 1.0, 7);
         let var = |p: &Plane| {
             let m = p.mean();
-            p.data().iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / p.data().len() as f64
+            p.data()
+                .iter()
+                .map(|&v| (v as f64 - m).powi(2))
+                .sum::<f64>()
+                / p.data().len() as f64
         };
         assert!(var(&busy) > var(&flat) * 1.2);
     }

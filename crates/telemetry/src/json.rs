@@ -53,7 +53,8 @@ impl JsonObj {
 
     /// Adds a string field.
     pub fn str(mut self, key: &str, value: &str) -> Self {
-        self.fields.push((key.to_string(), format!("\"{}\"", escape(value))));
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
         self
     }
 

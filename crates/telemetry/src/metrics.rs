@@ -47,7 +47,11 @@ impl Histogram {
     /// Records one observation. Negative and non-finite values clamp
     /// to zero (observability must never panic a hot path).
     pub fn record(&mut self, value: f64) {
-        let v = if value.is_finite() { value.max(0.0) } else { 0.0 };
+        let v = if value.is_finite() {
+            value.max(0.0)
+        } else {
+            0.0
+        };
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);

@@ -297,6 +297,9 @@ mod tests {
         }
         assert_eq!(r.events().len(), MAX_EVENTS);
         let snap = r.snapshot_json(&[]);
-        assert!(snap.contains("\"dropped_events\": 10"), "snapshot records drops");
+        assert!(
+            snap.contains("\"dropped_events\": 10"),
+            "snapshot records drops"
+        );
     }
 }

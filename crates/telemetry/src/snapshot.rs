@@ -82,7 +82,11 @@ pub(crate) fn render(store: &Store, meta: &[(&str, &str)]) -> String {
             fmt_f64(s.p99),
             fmt_f64(s.p999),
         ));
-        out.push_str(if i + 1 < store.histograms.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < store.histograms.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  },\n");
 
@@ -100,7 +104,11 @@ pub(crate) fn render(store: &Store, meta: &[(&str, &str)]) -> String {
             out.push_str(&format!("[{}, {}]", fmt_f64(t), fmt_f64(v)));
         }
         out.push_str("]}");
-        out.push_str(if i + 1 < store.series.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < store.series.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  },\n");
 
@@ -118,7 +126,11 @@ pub(crate) fn render(store: &Store, meta: &[(&str, &str)]) -> String {
             fmt_f64(e.end_s),
             fmt_f64(e.value),
         ));
-        out.push_str(if i + 1 < store.events.len() { ",\n" } else { "\n" });
+        out.push_str(if i + 1 < store.events.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     out.push_str("  ],\n");
 
@@ -140,7 +152,13 @@ mod tests {
         r.observe("wait_s", 2.5);
         r.series_record("util", 60.0, 0.5);
         r.series_record("util", 120.0, 0.75);
-        r.span("job", Scope::job(3).with_video(1).with_vcu(0), 0.0, 4.0, 1.0);
+        r.span(
+            "job",
+            Scope::job(3).with_video(1).with_vcu(0),
+            0.0,
+            4.0,
+            1.0,
+        );
         r.event("quarantine", Scope::vcu(2), 9.0, 1.0);
         r
     }

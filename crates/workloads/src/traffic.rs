@@ -200,9 +200,7 @@ mod tests {
     fn resolution_mix_shape() {
         let reqs = UploadTraffic::new(20.0, 5).generate(500.0);
         let n = reqs.len() as f64;
-        let frac = |r: Resolution| {
-            reqs.iter().filter(|q| q.resolution == r).count() as f64 / n
-        };
+        let frac = |r: Resolution| reqs.iter().filter(|q| q.resolution == r).count() as f64 / n;
         assert!(frac(Resolution::R1080) > 0.25, "1080p share");
         assert!(frac(Resolution::R2160) < 0.15, "4k share");
     }

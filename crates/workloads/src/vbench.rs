@@ -111,11 +111,9 @@ mod tests {
     #[test]
     fn axes_are_spread() {
         let s = suite(SuiteScale::Full);
-        let fps: std::collections::BTreeSet<_> =
-            s.iter().map(|c| c.spec.fps as u32).collect();
+        let fps: std::collections::BTreeSet<_> = s.iter().map(|c| c.spec.fps as u32).collect();
         assert!(fps.len() >= 3, "frame-rate axis collapsed: {fps:?}");
-        let res: std::collections::BTreeSet<_> =
-            s.iter().map(|c| c.spec.resolution).collect();
+        let res: std::collections::BTreeSet<_> = s.iter().map(|c| c.spec.resolution).collect();
         assert!(res.len() >= 2, "resolution axis collapsed");
     }
 

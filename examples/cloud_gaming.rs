@@ -11,11 +11,11 @@
 //! (set `VCU_SEED` to vary the generated content).
 
 use vcu_chip::{ResourceDemand, TranscodeJob, VcuModel};
-use vcu_telemetry::json::JsonObj;
 use vcu_codec::{decode, encode, EncoderConfig, PassMode, Profile, Qp};
 use vcu_media::quality::psnr_y_video;
 use vcu_media::synth::{ContentClass, SynthSpec};
 use vcu_media::Resolution;
+use vcu_telemetry::json::JsonObj;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = vcu_rng::env_seed(17);
@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pixel-level codec runs quickly (bitrate scales with pixels).
     let res = Resolution::R240;
     let fps = 60.0;
-    let clip = SynthSpec::new(res, 60, ContentClass::gaming(), seed)
-        .with_fps(fps);
+    let clip = SynthSpec::new(res, 60, ContentClass::gaming(), seed).with_fps(fps);
     let video = clip.generate();
     // 35 Mbps at 2160p60 ≈ 35e6 × (240p pixels / 2160p pixels) here.
     let target = (35e6 * res.pixels() as f64 / Resolution::R2160.pixels() as f64) as u64;

@@ -11,7 +11,7 @@
 
 use vcu_chip::TranscodeJob;
 use vcu_cluster::{
-    ClusterConfig, ClusterSim, FaultInjection, FaultKind, JobSpec, Priority,
+    ClusterConfig, ClusterSim, FaultInjection, FaultKind, JobSpec, Priority, RetryPolicy,
 };
 use vcu_codec::Profile;
 use vcu_media::Resolution;
@@ -42,7 +42,10 @@ fn run(seed: u64, mitigation: bool, integrity: bool) -> vcu_cluster::ClusterRepo
         blackhole_mitigation: mitigation,
         integrity_checks: integrity,
         detection_rate: 0.9,
-        max_retries: 10,
+        retry: RetryPolicy {
+            max_attempts: 11,
+            ..RetryPolicy::default()
+        },
         seed,
         ..ClusterConfig::default()
     };
@@ -62,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.attempts_per_worker[0] as f64 / total as f64
     };
 
-    println!("{:<34} {:>8} {:>9} {:>9} {:>10}", "configuration", "retries", "escaped", "caught", "w0 share");
+    println!(
+        "{:<34} {:>8} {:>9} {:>9} {:>10}",
+        "configuration", "retries", "escaped", "caught", "w0 share"
+    );
     for (name, r) in [
         ("no checks, no mitigation", &naive),
         ("integrity checks only", &detected),

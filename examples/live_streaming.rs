@@ -11,12 +11,12 @@
 //! (set `VCU_SEED` to vary the generated content).
 
 use vcu_chip::{TranscodeJob, VcuModel, WorkloadShape};
-use vcu_telemetry::json::JsonObj;
 use vcu_codec::{decode, encode, EncoderConfig, PassMode, Profile, Qp, TuningLevel};
 use vcu_media::quality::psnr_y_video;
 use vcu_media::synth::{ContentClass, SynthSpec};
 use vcu_media::Resolution;
 use vcu_system::platform::live_latency_s;
+use vcu_telemetry::json::JsonObj;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = vcu_rng::env_seed(3);
@@ -34,13 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A single VCU really does fit the whole 1080p live MOT (§4.5).
     let model = VcuModel::new();
-    let job = TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, chunk_s)
-        .low_latency_two_pass();
+    let job =
+        TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, chunk_s).low_latency_two_pass();
     let demand = model.job_demand(&job);
     let fits = demand.fits_in(vcu_chip::ResourceDemand::vcu_capacity());
     println!(
         "1080p30 VP9 live MOT on one VCU: {} (demand {:?})",
-        if fits { "fits in real time" } else { "DOES NOT FIT" },
+        if fits {
+            "fits in real time"
+        } else {
+            "DOES NOT FIT"
+        },
         demand
     );
     assert!(fits);

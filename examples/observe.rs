@@ -102,7 +102,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The Fig. 9 shape: hardware decode pins at its ceiling while
     // encoders idle; the offload toggle visibly changes the curve.
-    assert!(peak(&hw_dec) > 0.9, "decode must bottleneck: {}", peak(&hw_dec));
+    assert!(
+        peak(&hw_dec) > 0.9,
+        "decode must bottleneck: {}",
+        peak(&hw_dec)
+    );
     assert!(
         peak(&hw_dec) > peak(&hw_enc) + 0.2,
         "decode should lead encode by a wide margin"
@@ -117,9 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows = hw_enc.len().min(sw_enc.len());
     let mut table = String::new();
     table.push_str(&format!("# decode-heavy fleet utilization, seed {seed}\n"));
-    table.push_str(
-        "# t_s  enc_hw  dec_hw  queue_hw  enc_sw  dec_sw  queue_sw\n",
-    );
+    table.push_str("# t_s  enc_hw  dec_hw  queue_hw  enc_sw  dec_sw  queue_sw\n");
     for i in 0..rows {
         table.push_str(&format!(
             "{:>6.0} {:>7.3} {:>7.3} {:>9.0} {:>7.3} {:>7.3} {:>9.0}\n",
@@ -151,8 +153,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipeline = PipelineSim::new(4, 0.5);
     let rel = pipeline.relative_throughput_traced(4000, &node_reg);
     let clip = SynthSpec::new(Resolution::R144, 12, ContentClass::ugc(), seed).generate();
-    let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(30))
-        .with_hardware(TuningLevel::MATURE);
+    let cfg =
+        EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(30)).with_hardware(TuningLevel::MATURE);
     let encoded = encode_traced(&cfg, &clip, &node_reg)?;
     node_reg.write_snapshot(
         &results_path("observe_telemetry_node.json"),

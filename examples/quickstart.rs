@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Encode as VP9 on a mature-tuning VCU.
-    let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32))
-        .with_hardware(TuningLevel::MATURE);
+    let cfg =
+        EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32)).with_hardware(TuningLevel::MATURE);
     let encoded = encode(&cfg, &video)?;
     println!(
         "encoded: {} bytes, {:.0} kbps, {} coded frames ({} hidden altrefs)",
@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Decode and measure quality.
     let decoded = decode(&encoded.bytes)?;
     let psnr = psnr_y_video(&video, &decoded.video);
-    println!("decoded: {} frames, Y-PSNR {:.2} dB", decoded.video.frames.len(), psnr);
+    println!(
+        "decoded: {} frames, Y-PSNR {:.2} dB",
+        decoded.video.frames.len(),
+        psnr
+    );
     assert_eq!(decoded.video.frames.len(), video.frames.len());
 
     // 4. The golden self-test every worker runs on attach (§4.4).

@@ -14,13 +14,13 @@
 //! are byte-identical at any thread count).
 
 use vcu_cluster::{ClusterConfig, ClusterSim};
-use vcu_telemetry::json::JsonObj;
 use vcu_codec::{decode, EncoderConfig, Profile, Qp, TuningLevel};
 use vcu_media::quality::psnr_y_video;
 use vcu_media::synth::{ContentClass, SynthSpec};
 use vcu_media::{Resolution, Video};
 use vcu_system::chunking::{assemble, chunks_are_independent, encode_chunks, split, ChunkPlan};
 use vcu_system::platform::Platform;
+use vcu_telemetry::json::JsonObj;
 use vcu_workloads::{PopularityBucket, Request, WorkloadFamily};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SynthSpec::new(Resolution::R144, 18, ContentClass::talking_head(), seed).generate();
     let plan = ChunkPlan::uniform(upload.frames.len(), 6);
     let chunks = split(&upload, &plan);
-    println!("chunked {} frames into {} closed GOPs", upload.frames.len(), plan.len());
+    println!(
+        "chunked {} frames into {} closed GOPs",
+        upload.frames.len(),
+        plan.len()
+    );
 
     let threads = vcu_codec::env_threads();
     let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(30))
@@ -44,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "encoded {} chunks on {threads} thread(s): {chunks_per_s:.2} chunks/s",
         plan.len()
     );
-    assert!(chunks_are_independent(&encoded), "chunks must decode standalone");
+    assert!(
+        chunks_are_independent(&encoded),
+        "chunks must decode standalone"
+    );
 
     // Chunks decode in parallel (here: any order), then reassemble.
     let mut decoded: Vec<Video> = Vec::new();
@@ -73,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let jobs = platform.jobs_for(&request);
-    println!("expanded into {} chunk-level VCU jobs (MOT, H.264+VP9)", jobs.len());
+    println!(
+        "expanded into {} chunk-level VCU jobs (MOT, H.264+VP9)",
+        jobs.len()
+    );
     let cluster = ClusterConfig {
         vcus: 4,
         sample_period_s: 10.0,

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Bench regression gate: run the codec microbenches in smoke mode and
+# compare per-row throughput against the committed
+# results/bench_codec.json. A row that got more than REGRESSION_FACTOR
+# slower fails the build.
+#
+# Only rows that exist under both configurations and are long enough to
+# be stable are compared: throughput (elements/s) is shape-insensitive
+# where raw medians are not (smoke runs encode fewer frames), and rows
+# with a committed median under MIN_MEDIAN_NS are too noisy to gate on.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+REGRESSION_FACTOR="${VCU_BENCH_GATE_FACTOR:-3.0}"
+MIN_MEDIAN_NS=100000 # 100 µs
+COMMITTED=results/bench_codec.json
+FRESH="${TMPDIR:-/tmp}/bench_codec_smoke.json"
+
+if [[ ! -f "$COMMITTED" ]]; then
+    echo "check_bench: no committed $COMMITTED, nothing to gate" >&2
+    exit 1
+fi
+
+echo "--> fresh smoke run"
+VCU_BENCH_SMOKE=1 cargo bench -q -p vcu-bench --offline --bench codec >/dev/null
+if [[ ! -f "$FRESH" ]]; then
+    echo "check_bench: smoke run did not write $FRESH" >&2
+    exit 1
+fi
+
+# The Harness writes one record per line with a fixed key order, so a
+# line-oriented awk join is reliable (no jq in the image).
+awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" '
+    function field(line, key,    s) {
+        s = line
+        if (!match(s, "\"" key "\": [-0-9.e+]+")) return ""
+        s = substr(s, RSTART, RLENGTH)
+        sub("\"" key "\": ", "", s)
+        return s
+    }
+    /"name":/ {
+        name = $0
+        sub(/.*"name": "/, "", name)
+        sub(/".*/, "", name)
+        if (FNR == NR) {
+            committed_tp[name] = field($0, "throughput")
+            committed_med[name] = field($0, "median_ns")
+        } else {
+            fresh_tp[name] = field($0, "throughput")
+        }
+    }
+    END {
+        compared = 0
+        worst = 0
+        for (name in committed_tp) {
+            if (committed_tp[name] == "" || fresh_tp[name] == "") continue
+            if (committed_med[name] + 0 < min_median) continue
+            ratio = committed_tp[name] / fresh_tp[name]
+            compared++
+            if (ratio > worst) worst = ratio
+            printf "    %-40s committed %12.0f elem/s  fresh %12.0f elem/s  (%.2fx)\n", \
+                name, committed_tp[name], fresh_tp[name], ratio
+            if (ratio > factor) {
+                printf "check_bench: %s regressed %.2fx (> %.1fx budget)\n", name, ratio, factor > "/dev/stderr"
+                bad = 1
+            }
+        }
+        if (compared == 0) {
+            print "check_bench: no comparable rows between committed and fresh runs" > "/dev/stderr"
+            exit 1
+        }
+        printf "check_bench: %d rows compared, worst ratio %.2fx (budget %.1fx)\n", compared, worst, factor
+        exit bad
+    }
+' "$COMMITTED" "$FRESH"

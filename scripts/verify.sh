@@ -1,53 +1,110 @@
 #!/usr/bin/env bash
-# Tier-1 verification: hermetic build + full test suite + lint, all
-# offline. This is the command CI and reviewers run; it must pass from
-# a clean checkout with no network access.
+# Tier-1 verification: hermetic build + full test suite + lint + smoke
+# runs, all offline. This is the command CI and reviewers run; it must
+# pass from a clean checkout with no network access.
+#
+# The pipeline is split into named stages, each timed. Run one stage in
+# isolation with VCU_VERIFY_STAGE=<name> (e.g.
+# `VCU_VERIFY_STAGE=clippy scripts/verify.sh`); unknown names run
+# nothing and fail, so typos can't silently pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-echo "==> cargo build --release --offline"
-cargo build --workspace --release --offline
+STAGE_FILTER="${VCU_VERIFY_STAGE:-}"
+CURRENT_STAGE=""
+STAGES_RUN=0
+trap '[[ -n "$CURRENT_STAGE" ]] && echo "stage $CURRENT_STAGE: FAILED" >&2' ERR
 
-echo "==> cargo test -q --offline"
-cargo test -q --workspace --offline
+run_stage() {
+    local name="$1"
+    shift
+    if [[ -n "$STAGE_FILTER" && "$STAGE_FILTER" != "$name" ]]; then
+        return 0
+    fi
+    echo "==> stage $name"
+    CURRENT_STAGE="$name"
+    local t0=$SECONDS
+    "$@"
+    CURRENT_STAGE=""
+    STAGES_RUN=$((STAGES_RUN + 1))
+    echo "==> stage $name: OK ($((SECONDS - t0))s)"
+}
 
-echo "==> cargo clippy -D warnings (all targets)"
-cargo clippy --workspace --all-targets --offline -q -- -D warnings
+stage_fmt() {
+    cargo fmt --all -- --check
+}
+
+stage_build() {
+    cargo build --workspace --release --offline
+}
+
+stage_test() {
+    cargo test -q --workspace --offline
+}
+
+stage_clippy() {
+    cargo clippy --workspace --all-targets --offline -q -- -D warnings
+}
 
 # Smoke-run every example with its built-in fixed seed (VCU_SEED
-# unset → defaults), offline; `set -e` fails the script on any
+# unset → defaults), offline; `set -e` fails the stage on any
 # non-zero exit. Each prints a one-line JSON summary at the end.
-echo "==> example smoke runs"
-for ex in quickstart upload_pipeline live_streaming cloud_gaming failure_drill observe; do
-    echo "--> example $ex"
-    env -u VCU_SEED cargo run -q -p vcu-bench --release --offline --example "$ex" \
-        | tail -n 1
-done
+stage_examples() {
+    local ex
+    for ex in quickstart upload_pipeline live_streaming cloud_gaming failure_drill observe chaos; do
+        echo "--> example $ex"
+        env -u VCU_SEED cargo run -q -p vcu-bench --release --offline --example "$ex" \
+            | tail -n 1
+    done
+}
 
-# Smoke-run the warehouse-scale placement bench in its seconds-long
-# configuration (tiny fleets, temp-dir JSON) so the binary and its
-# indexed-vs-linear equivalence gate can't rot.
-echo "==> bench_cluster_scale smoke run"
-VCU_BENCH_SMOKE=1 cargo run -q -p vcu-bench --release --offline --bin bench_cluster_scale \
-    | tail -n 2
+# Smoke-run every bench binary in its seconds-long configuration
+# (tiny fleets, temp-dir JSON) so the binaries and their built-in
+# gates (indexed-vs-linear equivalence, graceful-degradation curve,
+# thread-count byte-identity) can't rot.
+stage_bench_smoke() {
+    echo "--> bench_cluster_scale"
+    VCU_BENCH_SMOKE=1 cargo run -q -p vcu-bench --release --offline --bin bench_cluster_scale \
+        | tail -n 2
+    echo "--> bench_fault_campaign"
+    VCU_BENCH_SMOKE=1 cargo run -q -p vcu-bench --release --offline --bin bench_fault_campaign \
+        | tail -n 3
+    echo "--> bench codec"
+    VCU_BENCH_SMOKE=1 cargo bench -q -p vcu-bench --offline --bench codec \
+        | tail -n 2
+}
 
-# Smoke-run the codec microbenches (quick mode, temp-dir JSON). This
-# exercises every bench row including the chunk-parallel encode ones,
-# whose built-in assert pins thread-count byte-identity.
-echo "==> bench codec smoke run"
-VCU_BENCH_SMOKE=1 cargo bench -q -p vcu-bench --offline --bench codec \
-    | tail -n 2
+# Compare a fresh smoke bench run against the committed results: a
+# >3x throughput regression on any stable row fails the build.
+stage_bench_gate() {
+    scripts/check_bench.sh
+}
 
 # The determinism suite must hold at any thread count: run it once
 # sequential and once with 4 encode workers. Byte-identical bitstreams
 # and telemetry snapshots are asserted inside the tests.
-echo "==> determinism suite at VCU_THREADS=1 and VCU_THREADS=4"
-for t in 1 4; do
-    echo "--> VCU_THREADS=$t"
-    VCU_THREADS=$t cargo test -q -p vcu-system --offline --test determinism \
-        | tail -n 2
-done
+stage_determinism() {
+    local t
+    for t in 1 4; do
+        echo "--> VCU_THREADS=$t"
+        VCU_THREADS=$t cargo test -q -p vcu-system --offline --test determinism \
+            | tail -n 2
+    done
+}
 
-echo "tier-1 verify: OK"
+run_stage fmt stage_fmt
+run_stage build stage_build
+run_stage test stage_test
+run_stage clippy stage_clippy
+run_stage examples stage_examples
+run_stage bench_smoke stage_bench_smoke
+run_stage bench_gate stage_bench_gate
+run_stage determinism stage_determinism
+
+if [[ "$STAGES_RUN" -eq 0 ]]; then
+    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke bench_gate determinism)" >&2
+    exit 1
+fi
+echo "tier-1 verify: OK ($STAGES_RUN stages)"

@@ -6,7 +6,7 @@
 
 use vcu_chip::{System, WorkloadShape};
 use vcu_cluster::tco::{perf_per_tco_normalized, system_tco};
-use vcu_cluster::{ClusterConfig, ClusterSim, ClusterReport, FaultInjection, FaultKind, JobSpec};
+use vcu_cluster::{ClusterConfig, ClusterReport, ClusterSim, FaultInjection, FaultKind, JobSpec};
 use vcu_codec::Profile;
 use vcu_system::platform::Platform;
 use vcu_telemetry::Registry;
@@ -78,7 +78,11 @@ fn trace(r: &ClusterReport) -> Trace {
             )
         })
         .collect();
-    (samples, r.attempts_per_worker.clone(), r.total_output_mpix.to_bits())
+    (
+        samples,
+        r.attempts_per_worker.clone(),
+        r.total_output_mpix.to_bits(),
+    )
 }
 
 #[test]
@@ -91,7 +95,11 @@ fn same_seed_is_byte_identical() {
     assert_eq!(a.escaped_corruptions, b.escaped_corruptions);
     assert_eq!(a.caught_corruptions, b.caught_corruptions);
     assert_eq!(a.sw_decoded_jobs, b.sw_decoded_jobs);
-    assert_eq!(trace(&a), trace(&b), "job-completion traces must be identical");
+    assert_eq!(
+        trace(&a),
+        trace(&b),
+        "job-completion traces must be identical"
+    );
     assert_eq!(
         a.mean_wait_s.to_bits(),
         b.mean_wait_s.to_bits(),
@@ -109,7 +117,11 @@ fn same_seed_is_byte_identical() {
     assert_eq!(t1.total().to_bits(), t2.total().to_bits());
     let p1 = perf_per_tco_normalized(sys, Profile::Vp9Sim, WorkloadShape::SotTwoPass).unwrap();
     let p2 = perf_per_tco_normalized(sys, Profile::Vp9Sim, WorkloadShape::SotTwoPass).unwrap();
-    assert_eq!(p1.to_bits(), p2.to_bits(), "TCO summary must be bit-identical");
+    assert_eq!(
+        p1.to_bits(),
+        p2.to_bits(),
+        "TCO summary must be bit-identical"
+    );
 }
 
 #[test]
@@ -118,7 +130,11 @@ fn different_seeds_differ() {
     let b = run(43);
     // Different seeds generate different traffic and different
     // detection outcomes; the traces cannot coincide.
-    assert_ne!(trace(&a), trace(&b), "different seeds must produce different traces");
+    assert_ne!(
+        trace(&a),
+        trace(&b),
+        "different seeds must produce different traces"
+    );
 }
 
 #[test]
@@ -137,7 +153,11 @@ fn telemetry_snapshot_is_byte_identical_for_same_seed() {
 fn telemetry_snapshot_diverges_across_seeds() {
     // Strip the meta block (it embeds the seed label) before comparing,
     // so divergence has to come from the recorded metrics themselves.
-    let body = |s: String| s.split_once("\"counters\"").map(|(_, b)| b.to_owned()).unwrap();
+    let body = |s: String| {
+        s.split_once("\"counters\"")
+            .map(|(_, b)| b.to_owned())
+            .unwrap()
+    };
     let a = body(snapshot(42));
     let b = body(snapshot(43));
     assert_ne!(a, b, "different seeds must produce different telemetry");
@@ -160,7 +180,11 @@ fn attaching_telemetry_does_not_perturb_the_simulation() {
     let traced = ClusterSim::new(cfg, jobs_for_seed(42), faults)
         .with_telemetry(Registry::new())
         .run();
-    assert_eq!(trace(&plain), trace(&traced), "observation must not change the run");
+    assert_eq!(
+        trace(&plain),
+        trace(&traced),
+        "observation must not change the run"
+    );
     assert_eq!(plain.completed, traced.completed);
     assert_eq!(plain.retries, traced.retries);
 }
@@ -244,7 +268,10 @@ fn chunk_parallel_encode_honors_vcu_threads_deterministically() {
     // The bitstream is also invariant across thread counts, not just
     // across runs: pin against a single-threaded reference encode.
     let seq = vcu_codec::encode_parallel(&cfg.with_threads(1), &video, 3).expect("t1");
-    assert_eq!(a.bytes, seq.bytes, "VCU_THREADS={threads} changed the bitstream");
+    assert_eq!(
+        a.bytes, seq.bytes,
+        "VCU_THREADS={threads} changed the bitstream"
+    );
     // The snapshot is substantive: chunk spans and counters landed.
     assert!(snap_a.contains("codec.chunk.encode"));
     assert!(snap_a.contains("\"codec.chunks\""));
@@ -257,4 +284,30 @@ fn traffic_generation_is_deterministic() {
     assert_eq!(a, b);
     let c = UploadTraffic::new(3.0, 8).generate(200.0);
     assert_ne!(a, c, "different traffic seeds must differ");
+}
+
+/// The fault-campaign artifact is a replayable build product: two
+/// same-seed campaigns render byte-identical JSON (what CI pins for
+/// `results/fault_campaign.json`), and the seed is load-bearing.
+#[test]
+fn fault_campaign_json_is_byte_identical() {
+    use vcu_cluster::{render_json, run_campaign, CampaignConfig};
+    let cfg = CampaignConfig {
+        vcus: 24,
+        jobs_per_vcu: 16,
+        seed: 1234,
+        fault_rates: vec![0.0, 0.2],
+        mttr_s: vec![15.0, f64::INFINITY],
+    };
+    let a = render_json(&cfg, &run_campaign(&cfg));
+    let b = render_json(&cfg, &run_campaign(&cfg));
+    assert_eq!(a, b, "same-seed campaign JSON must be byte-identical");
+    let c = render_json(
+        &CampaignConfig {
+            seed: 4321,
+            ..cfg.clone()
+        },
+        &run_campaign(&CampaignConfig { seed: 4321, ..cfg }),
+    );
+    assert_ne!(a, c, "campaign seed must steer the fault schedule");
 }

@@ -77,7 +77,10 @@ fn check(content: &str, rows: &[Golden]) {
             bits,
             ..
         } = e.stats;
-        assert_eq!(sad_pixels, g.sad, "{ctx}: sad_pixels (device billing) drifted");
+        assert_eq!(
+            sad_pixels, g.sad,
+            "{ctx}: sad_pixels (device billing) drifted"
+        );
         assert_eq!(transform_pixels, g.tx, "{ctx}: transform_pixels drifted");
         assert_eq!(mc_pixels, g.mc, "{ctx}: mc_pixels drifted");
         assert_eq!(bits, g.bits, "{ctx}: coded bits drifted");
@@ -89,10 +92,42 @@ fn golden_ugc() {
     check(
         "ugc",
         &[
-            Golden { config: "h264_sw", bytes: 32528, hash: 0x2C282F5FF95CFC5B, sad: 22054656, tx: 884736, mc: 385920, bits: 259440 },
-            Golden { config: "vp9_sw", bytes: 28572, hash: 0x73CC3ABCE0F5BB4B, sad: 106272768, tx: 995328, mc: 1066752, bits: 227712 },
-            Golden { config: "vp9_hw_launch", bytes: 39494, hash: 0x88A21C590CED0883, sad: 43966464, tx: 884736, mc: 940032, bits: 315168 },
-            Golden { config: "vp9_hw_mature", bytes: 28597, hash: 0x7141C4FFC38C4144, sad: 63219968, tx: 995328, mc: 1064320, bits: 227912 },
+            Golden {
+                config: "h264_sw",
+                bytes: 32528,
+                hash: 0x2C282F5FF95CFC5B,
+                sad: 22054656,
+                tx: 884736,
+                mc: 385920,
+                bits: 259440,
+            },
+            Golden {
+                config: "vp9_sw",
+                bytes: 28572,
+                hash: 0x73CC3ABCE0F5BB4B,
+                sad: 106272768,
+                tx: 995328,
+                mc: 1066752,
+                bits: 227712,
+            },
+            Golden {
+                config: "vp9_hw_launch",
+                bytes: 39494,
+                hash: 0x88A21C590CED0883,
+                sad: 43966464,
+                tx: 884736,
+                mc: 940032,
+                bits: 315168,
+            },
+            Golden {
+                config: "vp9_hw_mature",
+                bytes: 28597,
+                hash: 0x7141C4FFC38C4144,
+                sad: 63219968,
+                tx: 995328,
+                mc: 1064320,
+                bits: 227912,
+            },
         ],
     );
 }
@@ -102,10 +137,42 @@ fn golden_talking_head() {
     check(
         "talking_head",
         &[
-            Golden { config: "h264_sw", bytes: 8734, hash: 0x3BDC2DC5CC330D54, sad: 20507648, tx: 884736, mc: 387072, bits: 69088 },
-            Golden { config: "vp9_sw", bytes: 10735, hash: 0x1E8353009B44168A, sad: 87413248, tx: 995328, mc: 1056896, bits: 85016 },
-            Golden { config: "vp9_hw_launch", bytes: 16215, hash: 0x62634A479C7713EA, sad: 29301248, tx: 884736, mc: 911616, bits: 128936 },
-            Golden { config: "vp9_hw_mature", bytes: 10735, hash: 0x1E8353009B44168A, sad: 44061184, tx: 995328, mc: 1056896, bits: 85016 },
+            Golden {
+                config: "h264_sw",
+                bytes: 8734,
+                hash: 0x3BDC2DC5CC330D54,
+                sad: 20507648,
+                tx: 884736,
+                mc: 387072,
+                bits: 69088,
+            },
+            Golden {
+                config: "vp9_sw",
+                bytes: 10735,
+                hash: 0x1E8353009B44168A,
+                sad: 87413248,
+                tx: 995328,
+                mc: 1056896,
+                bits: 85016,
+            },
+            Golden {
+                config: "vp9_hw_launch",
+                bytes: 16215,
+                hash: 0x62634A479C7713EA,
+                sad: 29301248,
+                tx: 884736,
+                mc: 911616,
+                bits: 128936,
+            },
+            Golden {
+                config: "vp9_hw_mature",
+                bytes: 10735,
+                hash: 0x1E8353009B44168A,
+                sad: 44061184,
+                tx: 995328,
+                mc: 1056896,
+                bits: 85016,
+            },
         ],
     );
 }
@@ -115,10 +182,42 @@ fn golden_high_motion() {
     check(
         "high_motion",
         &[
-            Golden { config: "h264_sw", bytes: 70917, hash: 0xFC3D768EA209DC8C, sad: 19790592, tx: 884736, mc: 304128, bits: 566552 },
-            Golden { config: "vp9_sw", bytes: 65500, hash: 0x9D391751500D1ED9, sad: 94585600, tx: 884736, mc: 804480, bits: 523216 },
-            Golden { config: "vp9_hw_launch", bytes: 72200, hash: 0x51A38E40CD86B14C, sad: 59500288, tx: 884736, mc: 948864, bits: 576816 },
-            Golden { config: "vp9_hw_mature", bytes: 65605, hash: 0x0C14EC20625ACEEF, sad: 62134528, tx: 884736, mc: 802688, bits: 524056 },
+            Golden {
+                config: "h264_sw",
+                bytes: 70917,
+                hash: 0xFC3D768EA209DC8C,
+                sad: 19790592,
+                tx: 884736,
+                mc: 304128,
+                bits: 566552,
+            },
+            Golden {
+                config: "vp9_sw",
+                bytes: 65500,
+                hash: 0x9D391751500D1ED9,
+                sad: 94585600,
+                tx: 884736,
+                mc: 804480,
+                bits: 523216,
+            },
+            Golden {
+                config: "vp9_hw_launch",
+                bytes: 72200,
+                hash: 0x51A38E40CD86B14C,
+                sad: 59500288,
+                tx: 884736,
+                mc: 948864,
+                bits: 576816,
+            },
+            Golden {
+                config: "vp9_hw_mature",
+                bytes: 65605,
+                hash: 0x0C14EC20625ACEEF,
+                sad: 62134528,
+                tx: 884736,
+                mc: 802688,
+                bits: 524056,
+            },
         ],
     );
 }

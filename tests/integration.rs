@@ -38,8 +38,8 @@ fn upload_end_to_end_with_fault_screening() {
     let video = SynthSpec::new(Resolution::R144, 12, ContentClass::talking_head(), 31).generate();
     let plan = ChunkPlan::uniform(12, 4);
     let chunks = split(&video, &plan);
-    let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(30))
-        .with_hardware(TuningLevel::MATURE);
+    let cfg =
+        EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(30)).with_hardware(TuningLevel::MATURE);
     let encoded = encode_chunks(&cfg, &chunks).expect("encode");
 
     // A corrupting VCU taints one chunk; the container checksum (the
@@ -92,10 +92,18 @@ fn vp9_bd_rate_win_on_predictable_content() {
     let clip = &suite(SuiteScale::Quick)[0]; // presentation
     let v = clip.video();
     let qps = [18u8, 26, 34, 42];
-    let h = clip_rd_curve(EncoderConfig::const_qp(Profile::H264Sim, Qp::new(30)), &v, &qps)
-        .expect("h264 curve");
-    let g = clip_rd_curve(EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(30)), &v, &qps)
-        .expect("vp9 curve");
+    let h = clip_rd_curve(
+        EncoderConfig::const_qp(Profile::H264Sim, Qp::new(30)),
+        &v,
+        &qps,
+    )
+    .expect("h264 curve");
+    let g = clip_rd_curve(
+        EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(30)),
+        &v,
+        &qps,
+    )
+    .expect("vp9 curve");
     let d = bd(&h, &g).expect("bd-rate");
     assert!(d < -25.0, "VP9 should save >25% on screen content: {d:.1}%");
 }
@@ -105,8 +113,12 @@ fn vp9_bd_rate_win_on_predictable_content() {
 fn tuning_closes_hardware_gap() {
     let v = SynthSpec::new(Resolution::R144, 16, ContentClass::talking_head(), 77).generate();
     let qps = [20u8, 28, 36, 44];
-    let sw = clip_rd_curve(EncoderConfig::const_qp(Profile::H264Sim, Qp::new(30)), &v, &qps)
-        .expect("sw curve");
+    let sw = clip_rd_curve(
+        EncoderConfig::const_qp(Profile::H264Sim, Qp::new(30)),
+        &v,
+        &qps,
+    )
+    .expect("sw curve");
     let gap = |level: TuningLevel| {
         let hw = clip_rd_curve(
             EncoderConfig::const_qp(Profile::H264Sim, Qp::new(30)).with_hardware(level),
@@ -122,7 +134,10 @@ fn tuning_closes_hardware_gap() {
         launch > mature,
         "tuning must reduce the gap: launch {launch:.1}% vs mature {mature:.1}%"
     );
-    assert!(launch > 0.0, "launch hardware should trail software: {launch:.1}%");
+    assert!(
+        launch > 0.0,
+        "launch hardware should trail software: {launch:.1}%"
+    );
     assert_eq!(tuning_schedule(16).level(), 6);
 }
 
@@ -130,7 +145,12 @@ fn tuning_closes_hardware_gap() {
 #[test]
 fn mot_beats_sot_at_fleet_scale() {
     let d = fig8(4, 300.0, 3);
-    assert!(mean(&d.mot) > mean(&d.sot), "{} vs {}", mean(&d.mot), mean(&d.sot));
+    assert!(
+        mean(&d.mot) > mean(&d.sot),
+        "{} vs {}",
+        mean(&d.mot),
+        mean(&d.sot)
+    );
 }
 
 /// §4.5 live latency claims.
@@ -246,8 +266,14 @@ fn report_agrees_with_telemetry_counters() {
     assert_eq!(reg.counter("cluster.jobs.failed"), report.failed);
     assert_eq!(reg.counter("cluster.retries"), report.retries);
     assert_eq!(reg.counter("cluster.sw_decode"), report.sw_decoded_jobs);
-    assert_eq!(reg.counter("cluster.corruption.caught"), report.caught_corruptions);
-    assert_eq!(reg.counter("cluster.corruption.escaped"), report.escaped_corruptions);
+    assert_eq!(
+        reg.counter("cluster.corruption.caught"),
+        report.caught_corruptions
+    );
+    assert_eq!(
+        reg.counter("cluster.corruption.escaped"),
+        report.escaped_corruptions
+    );
     assert_eq!(reg.counter("cluster.jobs.stranded"), report.stranded);
     let attempts: u64 = report.attempts_per_worker.iter().sum();
     assert_eq!(reg.counter("cluster.attempts"), attempts);
@@ -255,7 +281,10 @@ fn report_agrees_with_telemetry_counters() {
     // (retries don't re-enter), so the histogram counts placed jobs —
     // every resolved job here was placed at least once.
     let wait = reg.histogram("cluster.wait_s").expect("waits observed");
-    assert_eq!(wait.count, report.completed + report.failed - report.stranded);
+    assert_eq!(
+        wait.count,
+        report.completed + report.failed - report.stranded
+    );
 }
 
 /// Black-holing + golden screening at integration scale.

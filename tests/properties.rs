@@ -477,3 +477,177 @@ prop_cases! {
         }
     }
 }
+
+// Fault-path properties: the failure-management machinery must keep
+// the DES total (every job resolves), the backoff deterministic, and
+// Critical work un-strandable while any healthy worker remains.
+mod fault_paths {
+    use vcu_chip::TranscodeJob;
+    use vcu_cluster::{
+        ClusterConfig, ClusterSim, DegradePolicy, FaultInjection, FaultKind, HealthPolicy, JobSpec,
+        Priority, RetryPolicy, WatchdogPolicy,
+    };
+    use vcu_codec::Profile;
+    use vcu_media::Resolution;
+    use vcu_rng::prop_cases;
+
+    fn random_fault_kind(rng: &mut vcu_rng::Rng) -> FaultKind {
+        match rng.gen_range(0u32..8) {
+            0 => FaultKind::SilentCorruption,
+            1 => FaultKind::FirmwareHang,
+            2 => FaultKind::SlowCore {
+                factor_pct: rng.gen_range(200u32..3_000),
+            },
+            3 => FaultKind::EccStorm {
+                correctable_per_tick: rng.gen_range(1u64..400),
+            },
+            4 => FaultKind::CrashLoop,
+            5 => FaultKind::Dead,
+            _ => FaultKind::Repair,
+        }
+    }
+
+    fn random_jobs(rng: &mut vcu_rng::Rng, n: usize) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| JobSpec {
+                arrival_s: rng.gen_range(0.0..60.0),
+                job: TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0),
+                priority: match i % 4 {
+                    0 => Priority::Critical,
+                    3 => Priority::Batch,
+                    _ => Priority::Normal,
+                },
+                video_id: (i / 4) as u64,
+            })
+            .collect()
+    }
+
+    prop_cases! {
+        /// Any random fault schedule — any mix of kinds, timings,
+        /// repairs, and policy knobs — terminates with every job
+        /// accounted for: completed + failed == submitted, and the
+        /// failure sub-counters never exceed their parent.
+        #[cases(48)]
+        fn fault_schedules_always_terminate(rng) {
+            let vcus = rng.gen_range(2usize..12);
+            let n = rng.gen_range(10usize..80);
+            let jobs = random_jobs(rng, n);
+            let faults: Vec<FaultInjection> = (0..rng.gen_range(0usize..12))
+                .map(|_| FaultInjection {
+                    time_s: rng.gen_range(0.0..90.0),
+                    worker: rng.gen_range(0usize..vcus),
+                    kind: random_fault_kind(rng),
+                })
+                .collect();
+            let cfg = ClusterConfig {
+                vcus,
+                detection_rate: rng.gen_range(0.0..1.0),
+                retry: RetryPolicy {
+                    base_s: rng.gen_range(0.0..5.0),
+                    factor: rng.gen_range(1.0..3.0),
+                    max_attempts: rng.gen_range(1u32..6),
+                    jitter_frac: rng.gen_range(0.0..0.3),
+                },
+                watchdog: WatchdogPolicy {
+                    grace_s: rng.gen_range(1.0..30.0),
+                    service_factor: rng.gen_range(2.0..8.0),
+                },
+                health: HealthPolicy {
+                    strike_threshold: rng.gen_range(1u32..5),
+                    max_recoveries: rng.gen_range(0u32..3),
+                    golden_period_s: if rng.gen_bool(0.5) {
+                        rng.gen_range(10.0..120.0)
+                    } else {
+                        0.0
+                    },
+                },
+                degrade: DegradePolicy {
+                    enabled: rng.gen_bool(0.5),
+                    ..DegradePolicy::default()
+                },
+                seed: rng.next_u64(),
+                ..ClusterConfig::default()
+            };
+            let r = ClusterSim::new(cfg, jobs, faults).run();
+            assert_eq!(
+                r.completed + r.failed,
+                n as u64,
+                "jobs must all resolve (completed {} + failed {})",
+                r.completed,
+                r.failed
+            );
+            assert!(r.stranded <= r.failed, "stranded is a subset of failed");
+            assert!(r.shed <= r.failed, "shed is a subset of failed");
+        }
+
+        /// Backoff delays are a pure function of (policy, attempt,
+        /// RNG state): same seed gives the identical sequence, and
+        /// every delay is bounded by base * factor^(attempt-1) *
+        /// (1 + jitter_frac).
+        #[cases(64)]
+        fn backoff_is_deterministic_and_bounded(rng) {
+            let policy = RetryPolicy {
+                base_s: rng.gen_range(0.1..10.0),
+                factor: rng.gen_range(1.0..4.0),
+                max_attempts: rng.gen_range(1u32..8),
+                jitter_frac: rng.gen_range(0.0..0.5),
+            };
+            let seed = rng.next_u64();
+            let mut a = vcu_rng::Rng::seed_from_u64(seed);
+            let mut b = vcu_rng::Rng::seed_from_u64(seed);
+            for attempt in 1..=policy.max_attempts {
+                let da = policy.delay_s(attempt, &mut a);
+                let db = policy.delay_s(attempt, &mut b);
+                assert_eq!(da.to_bits(), db.to_bits(), "same-seed delays must match");
+                let cap = policy.base_s
+                    * policy.factor.powi(attempt.saturating_sub(1) as i32)
+                    * (1.0 + policy.jitter_frac);
+                assert!(da >= 0.0 && da <= cap, "delay {da} exceeds cap {cap}");
+            }
+        }
+
+        /// As long as one worker never faults, Critical jobs are never
+        /// stranded: strand-failure requires the whole fleet to be
+        /// unusable with nothing pending that could revive it.
+        #[cases(32)]
+        fn critical_jobs_never_strand_while_a_healthy_worker_exists(rng) {
+            let vcus = rng.gen_range(2usize..10);
+            let n = rng.gen_range(8usize..40);
+            let jobs: Vec<JobSpec> = (0..n)
+                .map(|i| JobSpec {
+                    arrival_s: rng.gen_range(0.0..40.0),
+                    job: TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0),
+                    priority: Priority::Critical,
+                    video_id: i as u64,
+                })
+                .collect();
+            // Fault every worker except worker 0, possibly repeatedly.
+            let faults: Vec<FaultInjection> = (0..rng.gen_range(1usize..10))
+                .map(|_| FaultInjection {
+                    time_s: rng.gen_range(0.0..50.0),
+                    worker: rng.gen_range(1usize..vcus),
+                    kind: match rng.gen_range(0u32..3) {
+                        0 => FaultKind::Dead,
+                        1 => FaultKind::FirmwareHang,
+                        _ => FaultKind::CrashLoop,
+                    },
+                })
+                .collect();
+            let cfg = ClusterConfig {
+                vcus,
+                retry: RetryPolicy {
+                    base_s: 1.0,
+                    ..RetryPolicy::default()
+                },
+                seed: rng.next_u64(),
+                ..ClusterConfig::default()
+            };
+            let r = ClusterSim::new(cfg, jobs, faults).run();
+            assert_eq!(r.completed + r.failed, n as u64);
+            assert_eq!(
+                r.stranded, 0,
+                "worker 0 stays healthy, so no Critical job may strand"
+            );
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! machine-readable output in `results/bench_codec.json`. Run:
 //! `cargo bench -p vcu-bench --bench codec --offline`
 
-use vcu_bench::timing::{results_path, smoke, Harness};
+use vcu_bench::timing::{host_cores, results_path, smoke, Harness};
 use vcu_codec::entropy::{AdaptiveModel, BoolDecoder, BoolEncoder};
 use vcu_codec::motion::{satd, search, SearchParams};
 use vcu_codec::stats::CodingStats;
@@ -14,8 +14,9 @@ use vcu_codec::tempfilter::temporal_filter;
 use vcu_codec::transform::{forward, inverse};
 use vcu_codec::types::MotionVector;
 use vcu_codec::{decode, encode, encode_parallel, EncoderConfig, Profile, Qp, TuningLevel};
+use vcu_codec::{encode_batch, Encoded};
 use vcu_media::synth::{ContentClass, SynthSpec};
-use vcu_media::{Plane, Resolution};
+use vcu_media::{Plane, Resolution, Video};
 
 fn bench_transform(h: &mut Harness) {
     for &n in &[8usize, 16, 32] {
@@ -148,6 +149,56 @@ fn bench_parallel_encode(h: &mut Harness, frames: usize, chunk_frames: usize) {
     );
 }
 
+/// Unbalanced batch: one clip ~10x the length of its siblings — the
+/// shape that broke the old static round-robin, which pinned the big
+/// clip plus every `i % threads`-aligned small one to a single worker
+/// while its siblings idled. With work stealing, wall-clock should
+/// track the critical path (the big clip), so on a host with cores to
+/// spare the t4 row must land well under the t1 row; that regression
+/// assert arms only off smoke mode on >= 4 cores, since a single-core
+/// host cannot overlap anything.
+fn bench_unbalanced_batch(h: &mut Harness, smoke: bool) {
+    let (big_frames, n_small) = if smoke { (4usize, 4usize) } else { (10, 12) };
+    let mut videos: Vec<Video> = Vec::with_capacity(1 + n_small);
+    videos.push(SynthSpec::new(Resolution::R144, big_frames, ContentClass::ugc(), 9).generate());
+    for i in 0..n_small {
+        videos.push(
+            SynthSpec::new(Resolution::R144, 1, ContentClass::ugc(), 30 + i as u64).generate(),
+        );
+    }
+    let pixels: u64 = videos.iter().map(|v| v.total_pixels()).sum();
+    let base = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(32));
+    let mut medians = Vec::new();
+    let mut streams: Vec<Vec<Encoded>> = Vec::new();
+    for threads in [1usize, 4] {
+        let cfg = base.with_threads(threads);
+        let r = h.bench_elements(
+            &format!("codec/encode_batch_unbalanced_t{threads}"),
+            Some(pixels),
+            || encode_batch(&cfg, &videos).unwrap(),
+        );
+        medians.push(r.median_ns);
+        streams.push(encode_batch(&cfg, &videos).unwrap());
+    }
+    assert!(
+        streams[0]
+            .iter()
+            .zip(&streams[1])
+            .all(|(a, b)| a.bytes == b.bytes),
+        "thread count changed an unbalanced batch's bitstreams"
+    );
+    if !smoke && host_cores() >= 4 {
+        assert!(
+            medians[1] <= medians[0] * 0.75,
+            "unbalanced batch tracked the static share, not the critical path: \
+             t4 {:.1} ms vs t1 {:.1} ms on a {}-core host",
+            medians[1] / 1e6,
+            medians[0] / 1e6,
+            host_cores()
+        );
+    }
+}
+
 fn main() {
     let smoke = smoke();
     let mut h = Harness::new();
@@ -158,6 +209,7 @@ fn main() {
     bench_encode_decode(&mut h, if smoke { 2 } else { 6 });
     let (pframes, pchunk) = if smoke { (4, 2) } else { (12, 3) };
     bench_parallel_encode(&mut h, pframes, pchunk);
+    bench_unbalanced_batch(&mut h, smoke);
     let path = if smoke {
         std::env::temp_dir()
             .join("bench_codec_smoke.json")

@@ -193,18 +193,21 @@ fn main() {
             }
             let jobs_clone = jobs.clone();
             let rep = {
-                let mut slot = None;
+                // bench_reps closures are Fn + Sync (they may fan out
+                // across the pool), so the result slot sits behind a
+                // lock.
+                let slot = std::sync::Mutex::new(None);
                 let r = h.bench_reps(
                     &format!("cluster_scale/sim_{tag}_{vcus}"),
                     Some(n_jobs),
                     1,
-                    || slot = Some(run_sim(vcus, jobs_clone.clone(), mode)),
+                    || *slot.lock().unwrap() = Some(run_sim(vcus, jobs_clone.clone(), mode)),
                 );
                 println!(
                     "  {vcus:>6} VCUs ({tag}): {n_jobs} jobs at {:.0} jobs/s",
                     r.elems_per_s().unwrap_or(0.0)
                 );
-                slot.expect("bench ran at least once")
+                slot.into_inner().unwrap().expect("bench ran at least once")
             };
             assert_eq!(rep.completed + rep.failed, n_jobs, "every job must resolve");
             reports.push(rep);

@@ -131,17 +131,33 @@ impl Harness {
     /// iteration per repetition. For macro-benchmarks (whole simulator
     /// runs) where one execution already takes long enough to time and
     /// calibrating would multiply the runtime.
+    ///
+    /// Repetitions fan out across the process-wide work-stealing pool
+    /// at `min(VCU_THREADS, reps)` parallelism — each repetition times
+    /// only its own execution, so the statistic stays per-run
+    /// wall-clock (concurrent reps contend for cores; run with
+    /// `VCU_THREADS=1` when measuring an already-parallel workload).
     pub fn bench_reps<R>(
         &mut self,
         name: &str,
         elements: Option<u64>,
         reps: usize,
-        mut f: impl FnMut() -> R,
+        f: impl Fn() -> R + Sync,
     ) -> &Record {
         let reps = reps.max(1);
-        let mut per_iter_ns: Vec<f64> = (0..reps)
-            .map(|_| time_iters(1, &mut f).as_nanos() as f64)
-            .collect();
+        let f = &f;
+        let mut per_iter_ns: Vec<f64> = vcu_exec::pool().run_batch(
+            vcu_exec::env_threads().min(reps),
+            (0..reps)
+                .map(|_| {
+                    move || {
+                        let start = Instant::now();
+                        black_box(f());
+                        start.elapsed().as_nanos() as f64
+                    }
+                })
+                .collect(),
+        );
         per_iter_ns.sort_by(|a, b| a.total_cmp(b));
         let record = Record {
             name: name.to_string(),
@@ -171,14 +187,23 @@ impl Harness {
     /// prints where they went. Hand-rolled serialization — the
     /// workspace is dependency-free by design.
     ///
+    /// The top-level value is an object: `host_cores` records the
+    /// capture machine's parallelism (so downstream gates like
+    /// `scripts/check_bench.sh` can tell "flat scaling because the
+    /// host has one core" from "flat scaling because parallelism is
+    /// broken"), and `records` holds one row per benchmark.
+    ///
     /// A telemetry snapshot (`<stem>_telemetry.json`) is written next
     /// to the raw records, so bench runs and simulator runs share one
     /// observability format for downstream tooling.
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
-        let mut out = String::from("[\n");
+        let mut out = format!(
+            "{{\n  \"host_cores\": {},\n  \"records\": [\n",
+            host_cores()
+        );
         for (i, r) in self.records.iter().enumerate() {
             out.push_str(&format!(
-                "  {{\"name\": {:?}, \"iters\": {}, \"reps\": {}, \
+                "    {{\"name\": {:?}, \"iters\": {}, \"reps\": {}, \
                  \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}",
                 r.name, r.iters, r.reps, r.median_ns, r.min_ns, r.mean_ns
             ));
@@ -194,7 +219,7 @@ impl Harness {
             }
             out.push('\n');
         }
-        out.push_str("]\n");
+        out.push_str("  ]\n}\n");
         if let Some(parent) = std::path::Path::new(path).parent() {
             std::fs::create_dir_all(parent)?;
         }
@@ -203,8 +228,10 @@ impl Harness {
         self.write_telemetry(&telemetry_sibling(path))
     }
 
-    /// Mirrors the records into a telemetry registry and writes its
-    /// snapshot to `path`.
+    /// Mirrors the records into a telemetry registry — plus the
+    /// work-stealing pool's scheduler metering (steals, queue depths,
+    /// per-worker busy time) from any pool-backed benchmarks — and
+    /// writes its snapshot to `path`.
     fn write_telemetry(&self, path: &str) -> std::io::Result<()> {
         let reg = vcu_telemetry::Registry::new();
         for r in &self.records {
@@ -216,8 +243,17 @@ impl Harness {
                 reg.gauge_set(&format!("bench.{}.elems_per_s", r.name), t);
             }
         }
+        vcu_exec::pool().record_telemetry(&reg);
         reg.write_snapshot(path, &[("records", &self.records.len().to_string())])
     }
+}
+
+/// The capture machine's available parallelism, recorded in every
+/// bench JSON so scaling expectations can be conditioned on it.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// `results/bench_foo.json` → `results/bench_foo_telemetry.json`.
@@ -270,6 +306,21 @@ mod tests {
     }
 
     #[test]
+    fn bench_reps_fans_out_and_records() {
+        let mut h = Harness::new();
+        // Fn + Sync: shared state goes behind a lock, like the
+        // cluster-scale bench's result slot.
+        let acc = std::sync::Mutex::new(0u64);
+        let r = h.bench_reps("smoke/reps", Some(10), 5, || {
+            *acc.lock().unwrap() += (0..1000u64).sum::<u64>();
+        });
+        assert_eq!(r.reps, 5);
+        assert_eq!(r.iters, 1);
+        assert!(r.median_ns > 0.0);
+        assert_eq!(*acc.lock().unwrap(), 5 * 499_500);
+    }
+
+    #[test]
     fn json_is_written() {
         let mut h = Harness::new();
         h.bench("smoke/nop", || 1u8);
@@ -279,7 +330,10 @@ mod tests {
         h.write_json(path).unwrap();
         let body = std::fs::read_to_string(path).unwrap();
         assert!(body.contains("\"smoke/nop\""));
-        assert!(body.trim_start().starts_with('['));
+        // Top level is an object carrying capture-host metadata.
+        assert!(body.trim_start().starts_with('{'));
+        assert!(body.contains(&format!("\"host_cores\": {}", host_cores())));
+        assert!(body.contains("\"records\": ["));
         // Rows with elements carry a derived elements/s throughput.
         let elems_row = body.lines().find(|l| l.contains("smoke/elems")).unwrap();
         assert!(elems_row.contains("\"throughput\":"));

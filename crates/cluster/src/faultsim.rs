@@ -249,18 +249,26 @@ pub fn run_cell(cfg: &CampaignConfig, fault_rate: f64, mttr_s: f64, cell: u64) -
     }
 }
 
-/// Runs the full sweep: one cell per (MTTR, fault-rate) pair, in a
-/// deterministic order.
+/// Runs the full sweep: one cell per (MTTR, fault-rate) pair.
+///
+/// Cells fan out across the process-wide work-stealing pool at
+/// [`vcu_exec::env_threads`] parallelism. Each cell derives its RNG
+/// from `mix64(cfg.seed, cell_idx)` alone and the pool returns results
+/// in cell-index order, so the sweep is byte-identical to the
+/// sequential order for every `VCU_THREADS` value.
 pub fn run_campaign(cfg: &CampaignConfig) -> Vec<CampaignCell> {
-    let mut cells = Vec::with_capacity(cfg.mttr_s.len() * cfg.fault_rates.len());
-    let mut cell_idx = 0u64;
-    for &mttr in &cfg.mttr_s {
-        for &rate in &cfg.fault_rates {
-            cells.push(run_cell(cfg, rate, mttr, cell_idx));
-            cell_idx += 1;
-        }
-    }
-    cells
+    let grid: Vec<(f64, f64)> = cfg
+        .mttr_s
+        .iter()
+        .flat_map(|&mttr| cfg.fault_rates.iter().map(move |&rate| (mttr, rate)))
+        .collect();
+    vcu_exec::pool().run_batch(
+        vcu_exec::env_threads(),
+        grid.iter()
+            .enumerate()
+            .map(|(cell_idx, &(mttr, rate))| move || run_cell(cfg, rate, mttr, cell_idx as u64))
+            .collect(),
+    )
 }
 
 /// Fixed-precision float for byte-stable JSON ({:.6} is lossless at

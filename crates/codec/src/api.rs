@@ -299,45 +299,45 @@ pub fn encode_traced(
     })
 }
 
-/// Encodes several independent videos with one configuration,
-/// distributing them across `cfg.threads` worker threads (static
-/// round-robin: video `i` runs on worker `i % threads`).
+/// Encodes several independent videos with one configuration on the
+/// process-wide work-stealing pool ([`vcu_exec::pool`]), at most
+/// `cfg.threads` of them concurrently.
 ///
 /// Results come back in input order and each is byte-identical to a
 /// sequential [`encode`] of that video, for every thread count —
-/// workers share nothing and the per-video pipeline is deterministic.
+/// workers share nothing, the per-video pipeline is deterministic, and
+/// the pool returns index-ordered result slots no matter how
+/// steal-heavy the schedule was.
 ///
 /// # Errors
 ///
 /// Returns the first [`CodecError`] (by input order) if any video fails
 /// to encode.
+///
+/// # Panics
+///
+/// If an encode worker panics, every sibling video still encodes to
+/// completion first (nothing aborts mid-batch), then the panic of the
+/// lowest-index failed video is re-raised on the caller.
 pub fn encode_batch(cfg: &EncoderConfig, videos: &[Video]) -> Result<Vec<Encoded>, CodecError> {
-    let threads = cfg.threads.max(1).min(videos.len().max(1));
-    if threads <= 1 {
-        return videos.iter().map(|v| encode(cfg, v)).collect();
-    }
-    let mut slots: Vec<Option<Result<Encoded, CodecError>>> = Vec::new();
-    slots.resize_with(videos.len(), || None);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|w| {
-                s.spawn(move || {
-                    (w..videos.len())
-                        .step_by(threads)
-                        .map(|i| (i, encode(cfg, &videos[i])))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            for (i, r) in h.join().expect("encode worker panicked") {
-                slots[i] = Some(r);
-            }
-        }
-    });
-    slots
+    encode_batch_with(cfg, videos, encode)
+}
+
+/// [`encode_batch`] over an injectable per-video encode function —
+/// the seam tests use to exercise worker-panic handling with a
+/// deliberately faulting kernel.
+fn encode_batch_with(
+    cfg: &EncoderConfig,
+    videos: &[Video],
+    enc: impl Fn(&EncoderConfig, &Video) -> Result<Encoded, CodecError> + Sync,
+) -> Result<Vec<Encoded>, CodecError> {
+    let enc = &enc;
+    vcu_exec::pool()
+        .run_batch(
+            cfg.threads.max(1),
+            videos.iter().map(|v| move || enc(cfg, v)).collect(),
+        )
         .into_iter()
-        .map(|s| s.expect("round-robin covers every video"))
         .collect()
 }
 
@@ -369,14 +369,18 @@ pub fn encode_parallel(
 }
 
 /// Like [`encode_parallel`], additionally recording chunk-level
-/// observability: a `codec.encode.threads` gauge, a `codec.chunks`
-/// counter, per-chunk `codec.chunk.encode` spans (media-time
-/// coordinates, scoped to job = chunk index and vcu = worker index),
-/// and a `codec.chunk.bits` histogram.
+/// observability: a `codec.chunks` counter, per-chunk
+/// `codec.chunk.encode` spans (media-time coordinates, scoped to
+/// job = chunk index), and a `codec.chunk.bits` histogram.
 ///
 /// Workers themselves run untraced and telemetry is recorded on the
-/// calling thread in chunk order afterwards, so same-seed runs produce
-/// byte-identical telemetry snapshots regardless of thread scheduling.
+/// calling thread in chunk order afterwards; nothing in the snapshot
+/// mentions thread counts or worker identities, so same-seed runs
+/// produce byte-identical telemetry snapshots for **every**
+/// `cfg.threads` value, not just across schedules at one value.
+/// (Scheduler-side metering — steals, queue depths, busy time — is
+/// deliberately nondeterministic and lives behind
+/// `vcu_exec::Pool::record_telemetry` instead.)
 ///
 /// # Errors
 ///
@@ -404,7 +408,6 @@ pub fn encode_parallel_traced(
         .iter()
         .map(|&(a, b)| Video::new(video.frames[a..b].to_vec(), video.fps))
         .collect();
-    let threads = cfg.threads.max(1).min(chunks.len().max(1));
     let encoded = encode_batch(cfg, &chunks)?;
 
     // Splice in chunk order: one rewritten header, then every chunk's
@@ -427,14 +430,13 @@ pub fn encode_parallel_traced(
     }
 
     if telemetry.is_enabled() {
-        telemetry.gauge_set("codec.encode.threads", threads as f64);
         for (i, (c, &(a, b))) in encoded.iter().zip(&ranges).enumerate() {
             let chunk_bits: f64 = c.frames.iter().map(|f| f.bytes as f64 * 8.0).sum();
             telemetry.counter_inc("codec.chunks");
             telemetry.observe("codec.chunk.bits", chunk_bits);
             telemetry.span(
                 "codec.chunk.encode",
-                Scope::job(i as u64).with_vcu((i % threads) as u32),
+                Scope::job(i as u64),
                 a as f64 / video.fps,
                 b as f64 / video.fps,
                 chunk_bits,
@@ -757,6 +759,46 @@ mod tests {
     }
 
     #[test]
+    fn batch_worker_panic_joins_all_siblings_then_propagates_lowest_index() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A panicking encode kernel (injected via the same seam
+        // encode_batch uses) must not abort the batch mid-flight:
+        // every sibling video still encodes, and only then does the
+        // panic of the lowest-index failing video reach the caller.
+        let videos: Vec<Video> = (0..6).map(|_| clip(3, ContentClass::ugc())).collect();
+        let cfg = EncoderConfig::const_qp(Profile::Vp9Sim, Qp::new(30)).with_threads(4);
+        let completed = AtomicUsize::new(0);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            encode_batch_with(&cfg, &videos, |cfg, v| {
+                if std::ptr::eq(v, &videos[1]) {
+                    panic!("kernel fault on video 1");
+                }
+                if std::ptr::eq(v, &videos[4]) {
+                    panic!("kernel fault on video 4");
+                }
+                let r = encode(cfg, v);
+                completed.fetch_add(1, Ordering::SeqCst);
+                r
+            })
+        }))
+        .expect_err("a worker panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("panic payload should be the kernel's message");
+        assert_eq!(
+            msg, "kernel fault on video 1",
+            "the lowest-index panic wins, not whichever worker lost the race"
+        );
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            4,
+            "all non-panicking siblings must run to completion first"
+        );
+    }
+
+    #[test]
     fn parallel_encode_rejects_zero_chunk_frames() {
         let v = clip(2, ContentClass::talking_head());
         let cfg = EncoderConfig::const_qp(Profile::H264Sim, Qp::new(30));
@@ -775,7 +817,9 @@ mod tests {
         let plain = encode_parallel(&cfg, &v, 3).unwrap();
         assert_eq!(traced.bytes, plain.bytes, "tracing must not perturb output");
         assert_eq!(reg.counter("codec.chunks"), 3);
-        assert_eq!(reg.gauge("codec.encode.threads"), Some(2.0));
+        // The snapshot must stay thread-count-invariant, so nothing in
+        // it may mention thread counts or worker identities.
+        assert_eq!(reg.gauge("codec.encode.threads"), None);
         let spans = reg.events_named("codec.chunk.encode");
         assert_eq!(spans.len(), 3);
         // Spans carry media-time coordinates in chunk order.

@@ -2,12 +2,23 @@
 # Bench regression gate: run the codec microbenches in smoke mode and
 # compare per-row throughput against the committed
 # results/bench_codec.json. A row that got more than REGRESSION_FACTOR
-# slower fails the build.
+# slower fails the build, and a committed row that the fresh run no
+# longer produces fails outright (a silently dropped bench is a gate
+# with a hole in it).
 #
-# Only rows that exist under both configurations and are long enough to
-# be stable are compared: throughput (elements/s) is shape-insensitive
-# where raw medians are not (smoke runs encode fewer frames), and rows
-# with a committed median under MIN_MEDIAN_NS are too noisy to gate on.
+# Rows can only be throughput-compared when both sides carry a
+# throughput and the committed median is long enough to be stable
+# (throughput is shape-insensitive where raw medians are not — smoke
+# runs encode fewer frames; rows with a committed median under
+# MIN_MEDIAN_NS are too noisy to gate on). Every skipped row is printed
+# with its reason so the gate's blind spots are visible in the log.
+#
+# Scaling gate: bench JSON records the capture machine's host_cores.
+# When both this host and the committed run have >= 4 cores, the
+# committed codec/encode_vp9_sw_t4 row must show >= MIN_SCALING x the
+# _t1 row's throughput — flat scaling on a multi-core host means the
+# parallel encode path is broken. On smaller hosts the gate reports
+# itself disarmed instead of pretending flat rows are fine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +26,10 @@ export CARGO_NET_OFFLINE=true
 
 REGRESSION_FACTOR="${VCU_BENCH_GATE_FACTOR:-3.0}"
 MIN_MEDIAN_NS=100000 # 100 µs
+MIN_SCALING="${VCU_BENCH_MIN_SCALING:-2.0}"
 COMMITTED=results/bench_codec.json
 FRESH="${TMPDIR:-/tmp}/bench_codec_smoke.json"
+HOST_CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 
 if [[ ! -f "$COMMITTED" ]]; then
     echo "check_bench: no committed $COMMITTED, nothing to gate" >&2
@@ -32,7 +45,8 @@ fi
 
 # The Harness writes one record per line with a fixed key order, so a
 # line-oriented awk join is reliable (no jq in the image).
-awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" '
+awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" \
+    -v min_scaling="$MIN_SCALING" -v host_cores="$HOST_CORES" '
     function field(line, key,    s) {
         s = line
         if (!match(s, "\"" key "\": [-0-9.e+]+")) return ""
@@ -40,23 +54,50 @@ awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" '
         sub("\"" key "\": ", "", s)
         return s
     }
+    /"host_cores":/ {
+        if (FNR == NR) committed_cores = field($0, "host_cores") + 0
+    }
     /"name":/ {
         name = $0
         sub(/.*"name": "/, "", name)
         sub(/".*/, "", name)
         if (FNR == NR) {
+            order[++n_committed] = name
             committed_tp[name] = field($0, "throughput")
             committed_med[name] = field($0, "median_ns")
         } else {
+            fresh_seen[name] = 1
             fresh_tp[name] = field($0, "throughput")
         }
     }
     END {
         compared = 0
+        skipped = 0
         worst = 0
-        for (name in committed_tp) {
-            if (committed_tp[name] == "" || fresh_tp[name] == "") continue
-            if (committed_med[name] + 0 < min_median) continue
+        for (i = 1; i <= n_committed; i++) {
+            name = order[i]
+            if (!(name in fresh_seen)) {
+                printf "check_bench: committed row %s missing from fresh run (bench renamed or dropped?)\n", \
+                    name > "/dev/stderr"
+                bad = 1
+                continue
+            }
+            if (committed_tp[name] == "") {
+                printf "    %-40s SKIPPED: committed row has no throughput (no elements count)\n", name
+                skipped++
+                continue
+            }
+            if (fresh_tp[name] == "") {
+                printf "    %-40s SKIPPED: fresh row has no throughput (no elements count)\n", name
+                skipped++
+                continue
+            }
+            if (committed_med[name] + 0 < min_median) {
+                printf "    %-40s SKIPPED: committed median %.0f ns under %.0f ns noise floor\n", \
+                    name, committed_med[name], min_median
+                skipped++
+                continue
+            }
             ratio = committed_tp[name] / fresh_tp[name]
             compared++
             if (ratio > worst) worst = ratio
@@ -71,7 +112,32 @@ awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" '
             print "check_bench: no comparable rows between committed and fresh runs" > "/dev/stderr"
             exit 1
         }
-        printf "check_bench: %d rows compared, worst ratio %.2fx (budget %.1fx)\n", compared, worst, factor
+        printf "check_bench: %d rows compared, %d skipped, worst ratio %.2fx (budget %.1fx)\n", \
+            compared, skipped, worst, factor
+
+        # Scaling gate: committed t4 throughput must beat t1 by
+        # min_scaling when both the committed capture machine and this
+        # host have the cores to show it.
+        t1 = committed_tp["codec/encode_vp9_sw_t1"]
+        t4 = committed_tp["codec/encode_vp9_sw_t4"]
+        if (committed_cores + 0 >= 4 && host_cores + 0 >= 4) {
+            if (t1 == "" || t4 == "") {
+                print "check_bench: scaling gate needs encode_vp9_sw_t1 and _t4 rows with throughput" > "/dev/stderr"
+                bad = 1
+            } else {
+                scaling = t4 / t1
+                printf "check_bench: scaling gate t4/t1 = %.2fx (floor %.1fx, committed on %d cores)\n", \
+                    scaling, min_scaling, committed_cores
+                if (scaling < min_scaling) {
+                    printf "check_bench: encode_vp9_sw_t4 only %.2fx of _t1 on a %d-core capture host (< %.1fx)\n", \
+                        scaling, committed_cores, min_scaling > "/dev/stderr"
+                    bad = 1
+                }
+            }
+        } else {
+            printf "check_bench: scaling gate disarmed (committed host_cores=%d, this host=%d; both must be >= 4)\n", \
+                committed_cores + 0, host_cores + 0
+        }
         exit bad
     }
 ' "$COMMITTED" "$FRESH"

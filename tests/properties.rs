@@ -8,7 +8,7 @@ use vcu_cluster::{PlacementMode, Scheduler, SchedulerKind};
 use vcu_codec::entropy::{
     read_int, read_uint, write_int, write_uint, AdaptiveModel, BoolDecoder, BoolEncoder,
 };
-use vcu_codec::{decode, encode, encode_parallel, CodingStats, EncoderConfig, Profile, Qp};
+use vcu_codec::{decode, encode, encode_parallel_traced, CodingStats, EncoderConfig, Profile, Qp};
 use vcu_media::bdrate::{bd_rate, RdPoint};
 use vcu_media::scale::scale_plane;
 use vcu_media::synth::{ContentClass, SynthSpec};
@@ -341,9 +341,13 @@ prop_cases! {
 }
 
 prop_cases! {
-    /// Chunk-parallel encoding is thread-count invariant: for arbitrary
-    /// content, chunk size, and clip length, 1, 2, and 4 worker threads
-    /// produce byte-identical containers and identical merged stats.
+    /// Chunk-parallel encoding is pool-width invariant: for arbitrary
+    /// content, chunk size, and clip length, every `VCU_THREADS`-style
+    /// width in {1, 2, 3, 4, 8} produces a byte-identical container,
+    /// identical merged stats and frame records, and a byte-identical
+    /// telemetry snapshot. Widths exceed the chunk count on most cases
+    /// (<= 6 chunks vs 8 lanes), so surplus workers must idle rather
+    /// than perturb anything.
     #[cases(4)]
     fn parallel_encode_thread_invariant(rng) {
         let seed = rng.gen_range(0u64..1000);
@@ -353,12 +357,22 @@ prop_cases! {
         let qp = rng.gen_range(20u8..45);
         let video = SynthSpec::new(Resolution::R144, frames, ContentClass::ugc(), seed).generate();
         let base = EncoderConfig::const_qp(profile, Qp::new(qp));
-        let seq = encode_parallel(&base.with_threads(1), &video, chunk).expect("t1 encode");
-        for threads in [2usize, 4] {
-            let par = encode_parallel(&base.with_threads(threads), &video, chunk)
+        let seq_reg = vcu_telemetry::Registry::new();
+        let seq = encode_parallel_traced(&base.with_threads(1), &video, chunk, &seq_reg)
+            .expect("t1 encode");
+        let seq_snap = seq_reg.snapshot_json(&[]);
+        for threads in [2usize, 3, 4, 8] {
+            let reg = vcu_telemetry::Registry::new();
+            let par = encode_parallel_traced(&base.with_threads(threads), &video, chunk, &reg)
                 .expect("parallel encode");
             assert_eq!(seq.bytes, par.bytes, "threads={threads} changed the bitstream");
             assert_eq!(seq.stats, par.stats, "threads={threads} changed merged stats");
+            assert_eq!(seq.frames, par.frames, "threads={threads} changed frame records");
+            assert_eq!(
+                seq_snap,
+                reg.snapshot_json(&[]),
+                "threads={threads} changed the telemetry snapshot"
+            );
         }
         // And the spliced stream actually decodes to every frame.
         assert_eq!(decode(&seq.bytes).expect("decode").video.frames.len(), frames);

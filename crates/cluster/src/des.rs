@@ -110,6 +110,13 @@ impl<E> EventQueue<E> {
         Some(s)
     }
 
+    /// Time of the earliest pending event without popping it — the
+    /// merge point when two queues (e.g. a serving front end and the
+    /// cluster it feeds) advance in lockstep.
+    pub fn next_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -143,6 +150,18 @@ mod tests {
         q.schedule(2.0, 3);
         let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
         assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn next_time_peeks_without_advancing() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule(5.0, "b");
+        q.schedule(2.0, "a");
+        assert_eq!(q.next_time(), Some(2.0));
+        assert_eq!(q.now(), 0.0, "peek must not advance the clock");
+        q.pop();
+        assert_eq!(q.next_time(), Some(5.0));
     }
 
     #[test]

@@ -25,6 +25,6 @@ pub use pools::{DegradePolicy, PoolId, PoolManager, UseCase};
 pub use scheduler::{PlacementMode, Scheduler, SchedulerKind};
 pub use sim::{
     AttemptMode, ClusterConfig, ClusterReport, ClusterSim, FaultInjection, FaultKind, HealthPolicy,
-    JobSpec, Priority, RetryPolicy, Sample, WatchdogPolicy, WorkerMgmtState,
+    JobResolution, JobSpec, Priority, RetryPolicy, Sample, WatchdogPolicy, WorkerMgmtState,
 };
 pub use tco::{perf_per_tco, perf_per_tco_normalized, system_tco, Tco};

@@ -476,6 +476,21 @@ impl ClusterReport {
     }
 }
 
+/// One job reaching its terminal state, reported through
+/// [`ClusterSim::drain_resolutions`] so an open-world driver (the
+/// serving front end) can react to transcode outcomes as they happen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobResolution {
+    /// Index returned by [`ClusterSim::inject_job`] (or the position in
+    /// the up-front job vector).
+    pub job: usize,
+    /// Sim time of the resolution, seconds.
+    pub time_s: f64,
+    /// True on success; false for permanent failure (retries exhausted,
+    /// shed, or stranded).
+    pub completed: bool,
+}
+
 /// How far a crash-looping firmware gets into an attempt before
 /// aborting, seconds (capped at the attempt's own service time).
 const CRASH_ABORT_S: f64 = 2.0;
@@ -550,6 +565,13 @@ pub struct ClusterSim {
     /// Distinct VCUs that touched each video (blast radius), maintained
     /// incrementally so samples can expose it as a time series.
     touched_per_video: HashMap<u64, BTreeSet<usize>>,
+    /// Open-world mode: jobs keep arriving via [`ClusterSim::inject_job`]
+    /// after construction, so recurring events (sampling, ECC ticks,
+    /// golden screens) reschedule unconditionally and every resolution
+    /// is logged for [`ClusterSim::drain_resolutions`].
+    open_world: bool,
+    /// Resolutions since the last drain (open-world mode only).
+    resolutions: Vec<JobResolution>,
     /// Observability sink (disabled by default: zero cost).
     telemetry: Registry,
 }
@@ -646,8 +668,22 @@ impl ClusterSim {
             degrade_samples: [0; 4],
             running_per_pool: [0; 3],
             touched_per_video,
+            open_world: false,
+            resolutions: Vec::new(),
             telemetry: Registry::disabled(),
         }
+    }
+
+    /// Switches the simulator into open-world mode: jobs may be
+    /// injected at any time via [`ClusterSim::inject_job`], recurring
+    /// events keep rescheduling even while no job is unresolved, and
+    /// every resolution is logged for [`ClusterSim::drain_resolutions`].
+    /// Drive it with [`ClusterSim::step`] / [`ClusterSim::next_event_time`]
+    /// and close with [`ClusterSim::finish`]; `run()` would spin on the
+    /// recurring events.
+    pub fn open_world(mut self) -> Self {
+        self.open_world = true;
+        self
     }
 
     /// Attaches a telemetry registry. Counters, per-pool utilization
@@ -655,8 +691,14 @@ impl ClusterSim {
     /// against the DES sim clock (never wall-clock), so same-seed runs
     /// produce bit-identical snapshots.
     pub fn with_telemetry(mut self, telemetry: Registry) -> Self {
-        self.telemetry = telemetry;
+        self.set_telemetry(telemetry);
         self
+    }
+
+    /// Non-consuming form of [`ClusterSim::with_telemetry`], for
+    /// drivers that hold the simulator as a field.
+    pub fn set_telemetry(&mut self, telemetry: Registry) {
+        self.telemetry = telemetry;
     }
 
     /// Mean number of distinct VCUs that touched each video's chunks so
@@ -675,9 +717,77 @@ impl ClusterSim {
     /// Runs to completion (all jobs resolved or event queue exhausted)
     /// and returns the report.
     pub fn run(mut self) -> ClusterReport {
-        while let Some(ev) = self.queue.pop() {
-            let now = ev.time;
-            match ev.event {
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Submits one more job to an open-world simulator. `arrival_s`
+    /// must not precede the current sim time. Returns the job index
+    /// used in [`JobResolution::job`].
+    pub fn inject_job(&mut self, spec: JobSpec) -> usize {
+        let j = self.jobs.len();
+        self.queue.schedule(spec.arrival_s, Event::Arrival(j));
+        self.reviving_events += 1;
+        self.touched_per_video.entry(spec.video_id).or_default();
+        self.jobs.push(JobState {
+            spec,
+            attempts: 0,
+            done: false,
+            failed: false,
+            escaped_corruption: false,
+            touched_vcus: Vec::new(),
+            finished_at: None,
+            mode: AttemptMode::Hw,
+            live_attempt: None,
+            demand: None,
+        });
+        j
+    }
+
+    /// Time of the next pending event, if any — the merge point for a
+    /// driver interleaving this queue with its own.
+    pub fn next_event_time(&self) -> Option<f64> {
+        self.queue.next_time()
+    }
+
+    /// Current sim time (time of the last processed event).
+    pub fn now(&self) -> f64 {
+        self.queue.now()
+    }
+
+    /// Jobs submitted so far whose terminal state is still open.
+    pub fn unresolved_jobs(&self) -> u64 {
+        self.jobs.len() as u64 - self.resolved
+    }
+
+    /// Processes exactly one event. Returns false when the queue is
+    /// exhausted.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some(ev) => {
+                self.handle_event(ev.time, ev.event);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Takes the job resolutions accumulated since the last call
+    /// (open-world mode; empty otherwise), in resolution order.
+    pub fn drain_resolutions(&mut self) -> Vec<JobResolution> {
+        std::mem::take(&mut self.resolutions)
+    }
+
+    /// True while recurring events (sampling, ECC ticks, golden
+    /// screens) should keep rescheduling: always in open-world mode,
+    /// else only while some job is unresolved.
+    fn recurring_live(&self) -> bool {
+        self.open_world || self.resolved < self.jobs.len() as u64
+    }
+
+    fn handle_event(&mut self, now: f64, event: Event) {
+        {
+            match event {
                 Event::Arrival(j) => {
                     self.reviving_events -= 1;
                     self.enqueue_pending(now, j);
@@ -691,13 +801,13 @@ impl ClusterSim {
                     corrupted,
                 } => {
                     if self.jobs[job].live_attempt != Some(attempt) {
-                        continue; // attempt already resolved by a watchdog/abort
+                        return; // attempt already resolved by a watchdog/abort
                     }
                     if self.vcus[worker].is_hung() {
                         // The firmware wedged mid-flight: this completion
                         // never actually reported. The still-pending
                         // watchdog reclaims the attempt.
-                        continue;
+                        return;
                     }
                     self.end_attempt(now, job, worker, demand);
                     self.handle_completion(now, job, worker, corrupted);
@@ -710,7 +820,7 @@ impl ClusterSim {
                     demand,
                 } => {
                     if self.jobs[job].live_attempt != Some(attempt) {
-                        continue; // completed in time; deadline is stale
+                        return; // completed in time; deadline is stale
                     }
                     self.end_attempt(now, job, worker, demand);
                     self.watchdog_fired += 1;
@@ -734,7 +844,7 @@ impl ClusterSim {
                     demand,
                 } => {
                     if self.jobs[job].live_attempt != Some(attempt) {
-                        continue;
+                        return;
                     }
                     self.end_attempt(now, job, worker, demand);
                     self.crash_aborts += 1;
@@ -780,7 +890,7 @@ impl ClusterSim {
                                 1.0,
                             );
                         }
-                    } else if self.resolved < self.jobs.len() as u64 {
+                    } else if self.recurring_live() {
                         self.queue.schedule_in(
                             1.0,
                             Event::EccTick {
@@ -792,7 +902,7 @@ impl ClusterSim {
                 }
                 Event::GoldenScreen => {
                     self.golden_screen_pass(now);
-                    if self.resolved < self.jobs.len() as u64 {
+                    if self.recurring_live() {
                         self.queue
                             .schedule_in(self.cfg.health.golden_period_s, Event::GoldenScreen);
                     }
@@ -802,6 +912,13 @@ impl ClusterSim {
                 }
             }
         }
+    }
+
+    /// Final accounting: consumes the simulator and returns the report.
+    /// `run()` calls this after the queue drains; open-world drivers
+    /// call it directly once their own workload is exhausted (the
+    /// recurring events would keep an open-world queue alive forever).
+    pub fn finish(mut self) -> ClusterReport {
         let horizon_s = self
             .samples
             .last()
@@ -1018,8 +1135,9 @@ impl ClusterSim {
                 self.strand_pending(now);
             }
         }
-        // Keep sampling while any job is unresolved.
-        if self.resolved < self.jobs.len() as u64 {
+        // Keep sampling while any job is unresolved (always, in
+        // open-world mode: more work may be injected at any time).
+        if self.recurring_live() {
             self.queue.schedule_in(dt, Event::Sample);
         }
     }
@@ -1447,6 +1565,13 @@ impl ClusterSim {
         job.escaped_corruption = escaped;
         self.resolved += 1;
         self.last_resolution_s = self.last_resolution_s.max(now);
+        if self.open_world {
+            self.resolutions.push(JobResolution {
+                job: j,
+                time_s: now,
+                completed: !failed,
+            });
+        }
         if !failed {
             job.finished_at = Some(now);
             let mpix = job.spec.job.output_pixels() / 1e6;
@@ -2343,5 +2468,61 @@ mod tests {
         let report = ClusterSim::new(cfg, upload_jobs(100, 0.5, true), vec![]).run();
         assert!(report.samples.len() >= 5);
         assert!(report.samples.iter().any(|s| s.encode_util > 0.0));
+    }
+
+    #[test]
+    fn open_world_injection_matches_batch_run() {
+        // The same workload submitted up front (closed world, run())
+        // and injected incrementally (open world, step()) must resolve
+        // the same jobs with the same outcomes.
+        let cfg = ClusterConfig {
+            vcus: 3,
+            ..ClusterConfig::default()
+        };
+        let jobs = upload_jobs(40, 0.5, true);
+        let batch = ClusterSim::new(cfg.clone(), jobs.clone(), vec![]).run();
+
+        let mut sim = ClusterSim::new(cfg, vec![], vec![]).open_world();
+        let mut resolutions = Vec::new();
+        let mut pending = jobs.into_iter().peekable();
+        loop {
+            // Inject each job no later than its arrival time, stepping
+            // the cluster in between — the serving front end's pattern.
+            while let Some(spec) = pending.peek() {
+                let next = sim.next_event_time().unwrap_or(f64::INFINITY);
+                if spec.arrival_s <= next {
+                    let spec = pending.next().unwrap();
+                    sim.inject_job(spec);
+                } else {
+                    break;
+                }
+            }
+            if sim.unresolved_jobs() == 0 && pending.peek().is_none() {
+                break;
+            }
+            assert!(sim.step(), "queue exhausted with jobs outstanding");
+            resolutions.extend(sim.drain_resolutions());
+        }
+        let report = sim.finish();
+        assert_eq!(report.completed, batch.completed);
+        assert_eq!(report.failed, batch.failed);
+        assert_eq!(report.total_output_mpix, batch.total_output_mpix);
+        assert_eq!(resolutions.len() as u64, report.completed + report.failed);
+        assert!(resolutions.iter().all(|r| r.completed));
+        // Resolutions surface in event order.
+        assert!(resolutions.windows(2).all(|w| w[0].time_s <= w[1].time_s));
+    }
+
+    #[test]
+    fn closed_world_run_logs_no_resolutions() {
+        let cfg = ClusterConfig {
+            vcus: 2,
+            ..ClusterConfig::default()
+        };
+        let mut sim = ClusterSim::new(cfg, upload_jobs(10, 0.5, true), vec![]);
+        while sim.step() {}
+        assert!(sim.drain_resolutions().is_empty());
+        let report = sim.finish();
+        assert_eq!(report.completed, 10);
     }
 }

@@ -4,11 +4,15 @@
 //! redistribute; this crate synthesizes both: a [`vbench`]-like
 //! 15-clip suite spanning resolution × frame-rate × entropy, a
 //! [`popularity`] model (stretched power law, three buckets, §2.2),
-//! and [`traffic`] generators for upload and live request streams.
+//! [`traffic`] generators for upload and live request streams, and a
+//! [`viewing`] model (popularity-weighted catalog + viewer-session
+//! arrivals) feeding the online serving layer.
 pub mod popularity;
 pub mod traffic;
 pub mod vbench;
+pub mod viewing;
 
 pub use popularity::{PopularityBucket, PopularityModel, Treatment};
 pub use traffic::{LiveTraffic, Request, UploadTraffic, WorkloadFamily};
 pub use vbench::{suite, SuiteScale, VbenchClip};
+pub use viewing::{Catalog, CatalogVideo, ViewerSessions};

@@ -141,3 +141,103 @@ awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" \
         exit bad
     }
 ' "$COMMITTED" "$FRESH"
+
+# Serving-campaign gate: validate the committed
+# results/serve_campaign.json artifact. The full sweep is minutes-long
+# so no fresh run happens here (bench_serve's smoke gates cover the
+# code path); this checks the committed artifact itself — every cell
+# carries the full key set with exact session accounting, the largest
+# cell demonstrates >= MIN_PEAK peak concurrent viewers, and TTFF p99
+# shows no cliff across ascending cache sizes within a sweep group.
+# Rows without a same-fleet sweep partner are reported as skipped so
+# the gate's blind spots stay visible.
+MIN_PEAK="${VCU_SERVE_MIN_PEAK:-1000000}"
+TTFF_CLIFF_FACTOR="${VCU_SERVE_TTFF_FACTOR:-1.25}"
+TTFF_CLIFF_SLACK_S=0.05
+SERVE_COMMITTED=results/serve_campaign.json
+
+if [[ ! -f "$SERVE_COMMITTED" ]]; then
+    echo "check_bench: no committed $SERVE_COMMITTED, nothing to gate" >&2
+    exit 1
+fi
+
+echo "--> serve campaign artifact"
+awk -v min_peak="$MIN_PEAK" -v cliff="$TTFF_CLIFF_FACTOR" -v slack="$TTFF_CLIFF_SLACK_S" '
+    function field(line, key,    s) {
+        s = line
+        if (!match(s, "\"" key "\": [-0-9.e+]+")) return ""
+        s = substr(s, RSTART, RLENGTH)
+        sub("\"" key "\": ", "", s)
+        return s
+    }
+    /"viewers":/ {
+        n++
+        split("viewers vcus cache_segments arrivals admitted shed completed aborted " \
+              "peak_concurrent ttff_p50_s ttff_p99_s rebuffer_ratio rebuffer_events " \
+              "hit_ratio transcodes transcode_failures segments_served egress_gb " \
+              "egress_cost_usd transcode_cost_usd degraded_frac", keys, " ")
+        for (k in keys) {
+            if (field($0, keys[k]) == "") {
+                printf "check_bench: serve cell %d missing key %s\n", n, keys[k] > "/dev/stderr"
+                bad = 1
+            }
+        }
+        viewers[n] = field($0, "viewers") + 0
+        vcus[n] = field($0, "vcus") + 0
+        cache[n] = field($0, "cache_segments") + 0
+        peak[n] = field($0, "peak_concurrent") + 0
+        p99[n] = field($0, "ttff_p99_s") + 0
+        if (field($0, "arrivals") + 0 != field($0, "admitted") + field($0, "shed")) {
+            printf "check_bench: serve cell %d arrivals != admitted + shed\n", n > "/dev/stderr"
+            bad = 1
+        }
+        if (field($0, "admitted") + 0 != field($0, "completed") + field($0, "aborted")) {
+            printf "check_bench: serve cell %d admitted != completed + aborted\n", n > "/dev/stderr"
+            bad = 1
+        }
+        if (peak[n] > max_peak) max_peak = peak[n]
+    }
+    END {
+        if (n == 0) {
+            print "check_bench: no serve cells in committed artifact" > "/dev/stderr"
+            exit 1
+        }
+        compared = 0
+        skipped = 0
+        for (i = 1; i <= n; i++) {
+            paired = 0
+            for (j = 1; j <= n; j++) {
+                if (i != j && viewers[i] == viewers[j] && vcus[i] == vcus[j]) paired = 1
+            }
+            if (!paired) {
+                printf "    serve %9d viewers / cache %7d  SKIPPED: no same-fleet sweep partner for cliff check\n", \
+                    viewers[i], cache[i]
+                skipped++
+                continue
+            }
+            # Adjacent cells of one sweep group arrive consecutively
+            # with ascending cache sizes (render order).
+            if (i > 1 && viewers[i] == viewers[i-1] && vcus[i] == vcus[i-1] && cache[i] > cache[i-1]) {
+                compared++
+                printf "    serve %9d viewers: ttff_p99 %.3fs (cache %d) -> %.3fs (cache %d)\n", \
+                    viewers[i], p99[i-1], cache[i-1], p99[i], cache[i]
+                if (p99[i] > p99[i-1] * cliff + slack) {
+                    printf "check_bench: TTFF p99 cliff across the cache sweep at %d viewers\n", \
+                        viewers[i] > "/dev/stderr"
+                    bad = 1
+                }
+            }
+        }
+        if (compared == 0) {
+            print "check_bench: no adjacent cache-sweep pairs to cliff-check" > "/dev/stderr"
+            bad = 1
+        }
+        printf "check_bench: serve %d cells, %d cliff pairs, %d skipped, max peak %d (floor %d)\n", \
+            n, compared, skipped, max_peak, min_peak
+        if (max_peak + 0 < min_peak + 0) {
+            printf "check_bench: peak concurrency %d below %d floor\n", max_peak, min_peak > "/dev/stderr"
+            bad = 1
+        }
+        exit bad
+    }
+' "$SERVE_COMMITTED"

@@ -53,7 +53,7 @@ stage_clippy() {
 # non-zero exit. Each prints a one-line JSON summary at the end.
 stage_examples() {
     local ex
-    for ex in quickstart upload_pipeline live_streaming cloud_gaming failure_drill observe chaos; do
+    for ex in quickstart upload_pipeline live_streaming cloud_gaming failure_drill observe chaos serve; do
         echo "--> example $ex"
         env -u VCU_SEED cargo run -q -p vcu-bench --release --offline --example "$ex" \
             | tail -n 1
@@ -74,6 +74,14 @@ stage_bench_smoke() {
     echo "--> bench codec"
     VCU_BENCH_SMOKE=1 cargo bench -q -p vcu-bench --offline --bench codec \
         | tail -n 2
+}
+
+# Smoke-run the serving campaign: a seconds-long cache sweep whose
+# in-binary gates (exact session accounting, monotone hit ratio, no
+# TTFF p99 cliff) keep the serving layer honest.
+stage_serve_smoke() {
+    VCU_BENCH_SMOKE=1 cargo run -q -p vcu-bench --release --offline --bin bench_serve \
+        | tail -n 3
 }
 
 # Compare a fresh smoke bench run against the committed results: a
@@ -100,11 +108,12 @@ run_stage test stage_test
 run_stage clippy stage_clippy
 run_stage examples stage_examples
 run_stage bench_smoke stage_bench_smoke
+run_stage serve_smoke stage_serve_smoke
 run_stage bench_gate stage_bench_gate
 run_stage determinism stage_determinism
 
 if [[ "$STAGES_RUN" -eq 0 ]]; then
-    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke bench_gate determinism)" >&2
+    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke serve_smoke bench_gate determinism)" >&2
     exit 1
 fi
 echo "tier-1 verify: OK ($STAGES_RUN stages)"

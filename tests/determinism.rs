@@ -311,3 +311,109 @@ fn fault_campaign_json_is_byte_identical() {
     );
     assert_ne!(a, c, "campaign seed must steer the fault schedule");
 }
+
+/// The serve-campaign artifact pins like the fault campaign: two
+/// same-seed sweeps render byte-identical JSON and byte-identical
+/// telemetry snapshots (what CI pins for `results/serve_campaign.json`),
+/// the seed is load-bearing, and the result is invariant under the
+/// work-stealing pool's thread count.
+#[test]
+fn serve_campaign_json_is_byte_identical() {
+    use vcu_serve::{render_serve_json, run_serve_campaign, ServeCampaignConfig, ServeCellSpec};
+    let cfg = ServeCampaignConfig {
+        seed: 1234,
+        cells: vec![
+            ServeCellSpec {
+                viewers: 250,
+                vcus: 16,
+                cache_segments: 128,
+                catalog_videos: 150,
+                horizon_s: 20.0,
+            },
+            ServeCellSpec {
+                viewers: 250,
+                vcus: 16,
+                cache_segments: 512,
+                catalog_videos: 150,
+                horizon_s: 20.0,
+            },
+        ],
+    };
+    let a = render_serve_json(&cfg, &run_serve_campaign(&cfg));
+    let b = render_serve_json(&cfg, &run_serve_campaign(&cfg));
+    assert_eq!(a, b, "same-seed serve campaigns must be byte-identical");
+    let c = render_serve_json(
+        &ServeCampaignConfig {
+            seed: 4321,
+            ..cfg.clone()
+        },
+        &run_serve_campaign(&ServeCampaignConfig {
+            seed: 4321,
+            ..cfg.clone()
+        }),
+    );
+    assert_ne!(a, c, "campaign seed must steer the serving trace");
+}
+
+#[test]
+fn serve_campaign_is_thread_invariant() {
+    // run_serve_campaign fans cells out at `vcu_exec::env_threads()`
+    // parallelism; pin the 1-thread and 4-thread fan-outs against each
+    // other directly (the verify script additionally runs this suite
+    // under VCU_THREADS=1 and VCU_THREADS=4).
+    use vcu_serve::{render_serve_json, run_serve_cell, ServeCampaignConfig};
+    let cfg = ServeCampaignConfig {
+        seed: 77,
+        ..ServeCampaignConfig::smoke(77)
+    };
+    let sweep = |threads: usize| {
+        let cells = vcu_exec::pool().run_batch(
+            threads,
+            cfg.cells
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let cfg = &cfg;
+                    move || run_serve_cell(cfg, spec, i as u64)
+                })
+                .collect(),
+        );
+        render_serve_json(&cfg, &cells)
+    };
+    assert_eq!(
+        sweep(1),
+        sweep(4),
+        "VCU_THREADS must not change the campaign bytes"
+    );
+}
+
+/// The serving telemetry snapshot is part of the replayable artifact:
+/// same seed, same bytes — counters, histograms, series, and trace
+/// events all ride the DES clock, never the wall clock.
+#[test]
+fn serve_telemetry_snapshot_is_byte_identical() {
+    use vcu_serve::{ServeConfig, ServeSim};
+    let snap = |seed: u64| {
+        let reg = Registry::new();
+        ServeSim::new(ServeConfig {
+            viewers: 300,
+            horizon_s: 25.0,
+            catalog_videos: 200,
+            cache_segments: 256,
+            vcus: 16,
+            seed,
+            ..ServeConfig::default()
+        })
+        .with_telemetry(reg.clone())
+        .run();
+        reg.snapshot_json(&[("artifact", "serve-determinism")])
+    };
+    let a = snap(9);
+    assert_eq!(a, snap(9), "same-seed snapshots must be byte-identical");
+    assert_ne!(a, snap(10), "seed must steer the snapshot");
+    assert!(a.contains("serve.ttff_s"), "TTFF histogram must land");
+    assert!(
+        a.contains("serve.concurrent"),
+        "concurrency series must land"
+    );
+}

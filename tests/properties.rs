@@ -665,3 +665,129 @@ mod fault_paths {
         }
     }
 }
+
+// Serving-path properties: the segment cache must behave like a
+// capacity-bounded stack algorithm (never over-full, hits monotone in
+// capacity, head segments scan-resistant), and the serving simulator
+// must account for every session it admits.
+mod serving {
+    use vcu_rng::prop_cases;
+    use vcu_serve::{seg_key, SegmentCache, ServeConfig, ServeSim};
+
+    /// A random popularity-skewed access trace: (key, is_head) pairs
+    /// where a small hot set dominates, as in real serving.
+    fn random_trace(rng: &mut vcu_rng::Rng, len: usize) -> Vec<(u64, bool)> {
+        let hot = rng.gen_range(4u32..32);
+        let cold = rng.gen_range(64u32..512);
+        (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.6) {
+                    (seg_key(rng.gen_range(0u32..hot), 0), true)
+                } else {
+                    (seg_key(1_000 + rng.gen_range(0u32..cold), 0), false)
+                }
+            })
+            .collect()
+    }
+
+    fn replay(cache: &mut SegmentCache, trace: &[(u64, bool)]) {
+        for &(key, head) in trace {
+            if !cache.lookup(key) {
+                cache.insert(key, head);
+            }
+        }
+    }
+
+    prop_cases! {
+        /// The cache never holds more than its capacity (globally or in
+        /// the protected tier), whatever the trace.
+        #[cases(64)]
+        fn cache_never_exceeds_capacity(rng) {
+            let capacity = rng.gen_range(1usize..200);
+            let frac = rng.f64();
+            let trace = random_trace(rng, 600);
+            let mut cache = SegmentCache::new(capacity, frac);
+            for &(key, head) in &trace {
+                if !cache.lookup(key) {
+                    cache.insert(key, head);
+                }
+                assert!(cache.len() <= capacity);
+                assert!(cache.protected_len() <= cache.protected_capacity());
+            }
+        }
+
+        /// Hit count is monotone in capacity for the identical trace:
+        /// the two-tier LRU is a stack algorithm, so growing either
+        /// tier can only add hits.
+        #[cases(48)]
+        fn cache_hits_monotone_in_capacity(rng) {
+            let small = rng.gen_range(1usize..100);
+            let big = small + rng.gen_range(1usize..150);
+            let frac = rng.f64();
+            let trace = random_trace(rng, 800);
+            let mut a = SegmentCache::new(small, frac);
+            let mut b = SegmentCache::new(big, frac);
+            replay(&mut a, &trace);
+            replay(&mut b, &trace);
+            assert!(
+                b.hits() >= a.hits(),
+                "capacity {} hit {} times but capacity {} only {}",
+                small, a.hits(), big, b.hits()
+            );
+        }
+
+        /// A scan of one-shot cold keys cannot evict the protected
+        /// head set.
+        #[cases(48)]
+        fn protected_tier_survives_scan(rng) {
+            let capacity = rng.gen_range(8usize..128);
+            let mut cache = SegmentCache::new(capacity, 0.5);
+            let heads: Vec<u64> = (0..cache.protected_capacity() as u32)
+                .map(|v| seg_key(v, 0))
+                .collect();
+            for &k in &heads {
+                cache.insert(k, true);
+            }
+            let scan_len = rng.gen_range(100usize..1_000);
+            for i in 0..scan_len {
+                cache.insert(seg_key(10_000 + i as u32, 0), false);
+            }
+            for &k in &heads {
+                assert!(
+                    cache.contains(k),
+                    "scan of {scan_len} cold keys evicted a protected head segment"
+                );
+            }
+        }
+
+        /// Every session the serving sim admits ends exactly once:
+        /// arrivals = admitted + shed and admitted = completed +
+        /// aborted, for random populations, fleets, and cache sizes.
+        /// (The sim also asserts internally that no session or
+        /// transcode is still live at drain.)
+        #[cases(12)]
+        fn serving_sessions_all_account(rng) {
+            let report = ServeSim::new(ServeConfig {
+                viewers: rng.gen_range(50usize..600),
+                horizon_s: rng.gen_range(10.0..40.0),
+                catalog_videos: rng.gen_range(20usize..400),
+                cache_segments: rng.gen_range(16usize..1_024),
+                vcus: rng.gen_range(2usize..32),
+                seed: rng.next_u64(),
+                ..ServeConfig::default()
+            })
+            .run();
+            assert_eq!(report.arrivals, report.admitted + report.shed_sessions);
+            assert_eq!(
+                report.admitted,
+                report.completed_sessions + report.aborted_sessions
+            );
+            // Every completed session delivered all its segments, and
+            // deliveries only go to admitted sessions.
+            assert!(report.segments_served >= report.completed_sessions);
+            // Misses can coalesce onto an in-flight transcode, so
+            // misses bound transcodes from above.
+            assert!(report.cache_misses >= report.transcodes);
+        }
+    }
+}

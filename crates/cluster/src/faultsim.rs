@@ -106,13 +106,13 @@ const TARGET_UTIL: f64 = 0.97;
 /// The uniform campaign chunk: 1080p30, 5 s, VP9 MOT — the same heavy
 /// chunk `bench_cluster_scale` drives, so one worker holds only a few
 /// concurrently and losing workers moves the needle.
-fn campaign_job() -> TranscodeJob {
+pub fn campaign_job() -> TranscodeJob {
     TranscodeJob::mot(Resolution::R1080, Profile::Vp9Sim, 30.0, 5.0)
 }
 
 /// Concurrent campaign chunks one healthy worker fits (the binding
 /// scheduler dimension).
-fn slots_per_worker() -> u64 {
+pub fn slots_per_worker() -> u64 {
     let d = VcuModel::new().job_demand(&campaign_job());
     let cap = ResourceDemand::vcu_capacity();
     [
@@ -189,10 +189,85 @@ fn cell_faults(
     faults
 }
 
+/// Correlated failure domains: workers are laid out in contiguous
+/// domains of `domain_workers` (a rack sharing a ToR switch, a power
+/// bus, or — with `domain_workers == vcus` — a whole cell). A seeded
+/// shuffle picks `domains_hit` distinct domains; every worker in a hit
+/// domain goes [`FaultKind::Dead`] at the same instant (drawn in the
+/// first 60% of `span_s`) and is repaired `outage_s` later. Because
+/// the whole domain shares one timestamp, retries of its in-flight
+/// chunks scatter across surviving domains — exactly the §4.4
+/// blast-radius pressure the mean-VCUs-per-video metric measures.
+pub fn correlated_domain_faults(
+    vcus: usize,
+    domain_workers: usize,
+    domains_hit: usize,
+    outage_s: f64,
+    span_s: f64,
+    rng: &mut Rng,
+) -> Vec<FaultInjection> {
+    let domain_workers = domain_workers.clamp(1, vcus.max(1));
+    let n_domains = vcus.div_ceil(domain_workers);
+    let mut domains: Vec<usize> = (0..n_domains).collect();
+    rng.shuffle(&mut domains);
+    let mut faults = Vec::new();
+    for &d in domains.iter().take(domains_hit.min(n_domains)) {
+        let time_s = rng.gen_range(10.0..(span_s * 0.6).max(11.0));
+        for w in (d * domain_workers)..((d + 1) * domain_workers).min(vcus) {
+            faults.push(FaultInjection {
+                time_s,
+                worker: w,
+                kind: FaultKind::Dead,
+            });
+            faults.push(FaultInjection {
+                time_s: time_s + outage_s,
+                worker: w,
+                kind: FaultKind::Repair,
+            });
+        }
+    }
+    faults
+}
+
+/// Rolling firmware-upgrade wave: the fleet is swept in worker order,
+/// `wave_workers` at a time. Wave `k` drains at
+/// `start_s + k * wave_gap_s` (modeled as [`FaultKind::Dead`] — the
+/// worker stops taking and finishing work while its firmware reloads)
+/// and returns `outage_s` later via [`FaultKind::Repair`]. Fully
+/// deterministic (no RNG): an upgrade is a plan, not an accident.
+/// Keeping `wave_workers` well under the fleet size bounds the
+/// capacity dip to one wave at a time when `outage_s <= wave_gap_s`.
+pub fn upgrade_wave_faults(
+    vcus: usize,
+    wave_workers: usize,
+    start_s: f64,
+    wave_gap_s: f64,
+    outage_s: f64,
+) -> Vec<FaultInjection> {
+    let wave_workers = wave_workers.clamp(1, vcus.max(1));
+    let mut faults = Vec::with_capacity(vcus * 2);
+    for w in 0..vcus {
+        let wave = (w / wave_workers) as f64;
+        let time_s = start_s + wave * wave_gap_s;
+        faults.push(FaultInjection {
+            time_s,
+            worker: w,
+            kind: FaultKind::Dead,
+        });
+        faults.push(FaultInjection {
+            time_s: time_s + outage_s,
+            worker: w,
+            kind: FaultKind::Repair,
+        });
+    }
+    faults
+}
+
 /// The cluster configuration every campaign cell runs: backoff retry,
 /// watchdogs, periodic screening, bounded recoveries, and the
-/// degradation ladder all armed.
-fn cell_cluster_config(vcus: usize, seed: u64) -> ClusterConfig {
+/// degradation ladder all armed. Public so the multi-region layer
+/// (`vcu-regions`) runs its cells under the exact same policies.
+pub fn cell_cluster_config(vcus: usize, seed: u64) -> ClusterConfig {
     ClusterConfig {
         vcus,
         detection_rate: 0.9,
@@ -201,6 +276,7 @@ fn cell_cluster_config(vcus: usize, seed: u64) -> ClusterConfig {
             factor: 2.0,
             max_attempts: 5,
             jitter_frac: 0.1,
+            ..RetryPolicy::default()
         },
         watchdog: WatchdogPolicy {
             grace_s: 10.0,
@@ -393,6 +469,61 @@ mod tests {
             // this is the smoke version).
             assert!(c.goodput_frac >= 0.0 && c.goodput_frac <= 1.0);
         }
+    }
+
+    #[test]
+    fn correlated_domains_fault_together_and_repair() {
+        let mut rng = Rng::seed_from_u64(5);
+        let faults = correlated_domain_faults(32, 8, 2, 45.0, 300.0, &mut rng);
+        // 2 domains × 8 workers × (Dead + Repair).
+        assert_eq!(faults.len(), 32);
+        let deaths: Vec<_> = faults
+            .iter()
+            .filter(|f| f.kind == FaultKind::Dead)
+            .collect();
+        assert_eq!(deaths.len(), 16);
+        // Workers in the same domain share one outage instant.
+        for f in &deaths {
+            let domain_start = (f.worker / 8) * 8;
+            let peer = deaths.iter().find(|g| g.worker == domain_start).unwrap();
+            assert_eq!(f.time_s, peer.time_s, "domain must fail as a unit");
+        }
+        // Every death has a repair exactly outage_s later.
+        for d in &deaths {
+            assert!(faults.iter().any(|r| r.kind == FaultKind::Repair
+                && r.worker == d.worker
+                && r.time_s == d.time_s + 45.0));
+        }
+        // Seeded: same seed reproduces, different seed moves the plan.
+        let mut a = Rng::seed_from_u64(5);
+        let mut b = Rng::seed_from_u64(6);
+        assert_eq!(
+            faults,
+            correlated_domain_faults(32, 8, 2, 45.0, 300.0, &mut a)
+        );
+        assert_ne!(
+            faults,
+            correlated_domain_faults(32, 8, 2, 45.0, 300.0, &mut b)
+        );
+    }
+
+    #[test]
+    fn upgrade_waves_roll_through_the_whole_fleet() {
+        let faults = upgrade_wave_faults(10, 4, 100.0, 60.0, 30.0);
+        assert_eq!(faults.len(), 20, "every worker gets Dead + Repair");
+        // Wave k = workers [4k, 4k+4) drains at 100 + 60k.
+        for f in &faults {
+            let expect = 100.0 + (f.worker / 4) as f64 * 60.0;
+            match f.kind {
+                FaultKind::Dead => assert_eq!(f.time_s, expect),
+                FaultKind::Repair => assert_eq!(f.time_s, expect + 30.0),
+                other => panic!("unexpected fault kind {other:?}"),
+            }
+        }
+        // A wave returns before the next drains (outage < gap), so the
+        // capacity dip is bounded to one wave.
+        let touched: std::collections::BTreeSet<usize> = faults.iter().map(|f| f.worker).collect();
+        assert_eq!(touched.len(), 10);
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub mod scheduler;
 pub mod sim;
 pub mod tco;
 
-pub use faultsim::{render_json, run_campaign, run_cell, CampaignCell, CampaignConfig};
+pub use des::{EventQueue, ShardedEventQueue};
+pub use faultsim::{
+    cell_cluster_config, correlated_domain_faults, render_json, run_campaign, run_cell,
+    upgrade_wave_faults, CampaignCell, CampaignConfig,
+};
 pub use pools::{DegradePolicy, PoolId, PoolManager, UseCase};
 pub use scheduler::{PlacementMode, Scheduler, SchedulerKind};
 pub use sim::{

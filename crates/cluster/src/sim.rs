@@ -173,6 +173,12 @@ pub struct RetryPolicy {
     /// Uniform jitter fraction in `[0, jitter_frac)` added to each
     /// delay, drawn from the sim RNG.
     pub jitter_frac: f64,
+    /// Ceiling on the pre-jitter delay, seconds. `base_s * factor^k`
+    /// grows without bound (`2^1024` is already `f64::INFINITY`), and
+    /// an infinite or astronomically late retry event would wedge or
+    /// corrupt the DES clock; the clamp keeps every backoff finite no
+    /// matter how liberal the attempt budget is.
+    pub max_delay_s: f64,
 }
 
 impl Default for RetryPolicy {
@@ -182,20 +188,25 @@ impl Default for RetryPolicy {
             factor: 2.0,
             max_attempts: 5,
             jitter_frac: 0.0,
+            // One simulated hour: far above any delay the default
+            // 5-attempt budget can reach (so existing artifacts are
+            // byte-unchanged), yet finite for any attempt count.
+            max_delay_s: 3_600.0,
         }
     }
 }
 
 impl RetryPolicy {
     /// Backoff delay before retrying a job that has already made
-    /// `attempts` attempts. Draws jitter from `rng` only when both the
-    /// base and the jitter are live, so disabling backoff leaves the
-    /// RNG stream untouched.
+    /// `attempts` attempts, clamped to `max_delay_s` before jitter.
+    /// Draws jitter from `rng` only when both the base and the jitter
+    /// are live, so disabling backoff leaves the RNG stream untouched.
     pub fn delay_s(&self, attempts: u32, rng: &mut Rng) -> f64 {
         if self.base_s <= 0.0 {
             return 0.0;
         }
-        let d = self.base_s * self.factor.powi(attempts.saturating_sub(1) as i32);
+        let d = (self.base_s * self.factor.powi(attempts.saturating_sub(1) as i32))
+            .min(self.max_delay_s);
         if self.jitter_frac > 0.0 {
             d * (1.0 + self.jitter_frac * rng.f64())
         } else {
@@ -776,6 +787,30 @@ impl ClusterSim {
     /// (open-world mode; empty otherwise), in resolution order.
     pub fn drain_resolutions(&mut self) -> Vec<JobResolution> {
         std::mem::take(&mut self.resolutions)
+    }
+
+    /// Processes every event with time ≤ `t` (epoch-stepping for
+    /// drivers that interleave many open-world cells). The sim clock
+    /// never passes `t`, so jobs injected afterwards may arrive at any
+    /// time ≥ `t`.
+    pub fn run_until(&mut self, t: f64) {
+        while self.next_event_time().is_some_and(|next| next <= t) {
+            self.step();
+        }
+    }
+
+    /// Jobs waiting across all priority classes (the backlog an
+    /// admission controller reads).
+    pub fn backlog_jobs(&self) -> usize {
+        self.pending_len()
+    }
+
+    /// Workers currently usable (active management state and a chip
+    /// that accepts work) — the denominator of backlog pressure.
+    pub fn usable_worker_count(&self) -> usize {
+        (0..self.vcus.len())
+            .filter(|&w| self.worker_usable(w))
+            .count()
     }
 
     /// True while recurring events (sampling, ECC ticks, golden
@@ -2093,6 +2128,7 @@ mod tests {
             factor: 2.0,
             max_attempts: 5,
             jitter_frac: 0.25,
+            ..RetryPolicy::default()
         };
         let seq = |seed| {
             let mut rng = Rng::seed_from_u64(seed);
@@ -2124,6 +2160,35 @@ mod tests {
         let mut rng2 = Rng::seed_from_u64(1);
         assert_eq!(RetryPolicy::default().delay_s(3, &mut rng2), 0.0);
         assert_eq!(rng2.next_u64(), before.clone().next_u64());
+    }
+
+    #[test]
+    fn backoff_is_clamped_at_max_delay() {
+        // Regression: factor^(attempts-1) overflows to f64::INFINITY
+        // around attempt 1076 with factor 2 — an unclamped policy would
+        // schedule a retry at t = ∞ and wedge the DES.
+        let p = RetryPolicy {
+            base_s: 2.0,
+            factor: 2.0,
+            max_attempts: u32::MAX,
+            jitter_frac: 0.0,
+            max_delay_s: 900.0,
+        };
+        let mut rng = Rng::seed_from_u64(1);
+        for attempts in [10, 60, 1_076, 10_000, u32::MAX] {
+            let d = p.delay_s(attempts, &mut rng);
+            assert!(d.is_finite(), "attempt {attempts}: delay {d} not finite");
+            assert!(d <= 900.0, "attempt {attempts}: delay {d} above cap");
+        }
+        // Below the cap the exponential is untouched.
+        assert_eq!(p.delay_s(3, &mut rng), 8.0);
+        // Jitter applies on top of the clamped value, not the raw one.
+        let jittered = RetryPolicy {
+            jitter_frac: 0.25,
+            ..p
+        };
+        let d = jittered.delay_s(10_000, &mut rng);
+        assert!((900.0..900.0 * 1.25).contains(&d), "jittered clamp: {d}");
     }
 
     #[test]

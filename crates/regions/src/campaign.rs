@@ -1,0 +1,416 @@
+//! The region campaign: a sweep of [`PlanetSim`] runs over regions ×
+//! fleet size × traffic growth, rendered as byte-stable JSON.
+//!
+//! Every campaign cell runs its planet **twice** from the same seed —
+//! overflow routing enabled, then disabled — so the artifact carries
+//! the routing counterfactual the CI gate checks: overflow must never
+//! reduce total goodput versus isolated regions. Each planet derives
+//! everything from `mix64(campaign_seed, cell_idx)` and all
+//! parallelism reassembles in index order, so
+//! `results/region_campaign.json` is byte-identical for every
+//! `VCU_THREADS` value.
+
+use crate::planet::{OverflowPolicy, PlanetConfig, PlanetReport, PlanetSim};
+use crate::region::{region_job, RegionSpec};
+use vcu_chip::{ResourceDemand, VcuModel};
+use vcu_rng::mix64;
+
+/// One cell of the sweep: a planet shape plus a traffic multiplier.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionCellSpec {
+    /// Regions on the planet.
+    pub regions: usize,
+    /// Cluster cells (event-queue shards) per region.
+    pub cells_per_region: usize,
+    /// VCUs per cell.
+    pub vcus_per_cell: usize,
+    /// Demand multiplier (1.0 = the baseline 75%-mean-utilization
+    /// offered load).
+    pub traffic_scale: f64,
+}
+
+impl RegionCellSpec {
+    /// Total VCUs on the planet.
+    pub fn total_vcus(&self) -> usize {
+        self.regions * self.cells_per_region * self.vcus_per_cell
+    }
+}
+
+/// Campaign configuration: a seed, the shared planet timing, and the
+/// cell list.
+#[derive(Debug, Clone)]
+pub struct RegionCampaignConfig {
+    /// Campaign seed; cell `i` runs with `mix64(seed, i)`.
+    pub seed: u64,
+    /// Demand window per planet, seconds (also the compressed diurnal
+    /// period: one full day of swing per run).
+    pub horizon_s: f64,
+    /// Lockstep epoch, seconds.
+    pub epoch_s: f64,
+    /// Chunk duration, seconds.
+    pub chunk_s: f64,
+    /// Mean offered load as a fraction of fleet capacity.
+    pub util: f64,
+    /// Diurnal swing in `[0, 1]`.
+    pub amplitude: f64,
+    /// Cells, run in order.
+    pub cells: Vec<RegionCellSpec>,
+}
+
+/// Concurrent region-campaign chunks one healthy worker fits (the
+/// binding scheduler dimension) — sizes the offered load.
+pub fn slots_per_worker(chunk_s: f64) -> u64 {
+    let d = VcuModel::new().job_demand(&region_job(chunk_s));
+    let cap = ResourceDemand::vcu_capacity();
+    [
+        cap.millidecode / d.millidecode.max(1),
+        cap.milliencode / d.milliencode.max(1),
+        cap.dram_mib / d.dram_mib.max(1),
+        cap.host_mcpu / d.host_mcpu.max(1),
+    ]
+    .into_iter()
+    .min()
+    .unwrap()
+    .max(1) as u64
+}
+
+impl RegionCampaignConfig {
+    /// The full sweep behind `results/region_campaign.json`: regions ×
+    /// fleet size × traffic growth, topping out at a 102,400-VCU
+    /// four-region planet (the ≥100k end-to-end cell). Long chunks
+    /// keep the job count tractable at that scale.
+    pub fn full(seed: u64) -> Self {
+        RegionCampaignConfig {
+            seed,
+            horizon_s: 600.0,
+            epoch_s: 60.0,
+            chunk_s: 240.0,
+            util: 0.75,
+            amplitude: 0.85,
+            cells: vec![
+                RegionCellSpec {
+                    regions: 1,
+                    cells_per_region: 4,
+                    vcus_per_cell: 400,
+                    traffic_scale: 1.0,
+                },
+                RegionCellSpec {
+                    regions: 2,
+                    cells_per_region: 8,
+                    vcus_per_cell: 400,
+                    traffic_scale: 1.0,
+                },
+                RegionCellSpec {
+                    regions: 4,
+                    cells_per_region: 8,
+                    vcus_per_cell: 800,
+                    traffic_scale: 1.0,
+                },
+                RegionCellSpec {
+                    regions: 4,
+                    cells_per_region: 8,
+                    vcus_per_cell: 800,
+                    traffic_scale: 1.3,
+                },
+                RegionCellSpec {
+                    regions: 4,
+                    cells_per_region: 16,
+                    vcus_per_cell: 1_600,
+                    traffic_scale: 1.0,
+                },
+            ],
+        }
+    }
+
+    /// A seconds-scale sweep with the same shape (multi-region, one
+    /// traffic-growth cell) for CI smoke and tests.
+    pub fn smoke(seed: u64) -> Self {
+        RegionCampaignConfig {
+            seed,
+            horizon_s: 120.0,
+            epoch_s: 30.0,
+            chunk_s: 20.0,
+            util: 0.75,
+            amplitude: 0.85,
+            cells: vec![
+                RegionCellSpec {
+                    regions: 2,
+                    cells_per_region: 2,
+                    vcus_per_cell: 16,
+                    traffic_scale: 1.0,
+                },
+                RegionCellSpec {
+                    regions: 2,
+                    cells_per_region: 2,
+                    vcus_per_cell: 16,
+                    traffic_scale: 1.3,
+                },
+            ],
+        }
+    }
+
+    /// Planet configuration for one campaign cell. Region peaks are
+    /// spread evenly around the (compressed) clock, so the planet's
+    /// total demand is flatter than any one region's — the premise of
+    /// overflow routing.
+    pub fn planet_config(
+        &self,
+        spec: &RegionCellSpec,
+        cell: u64,
+        overflow_enabled: bool,
+    ) -> PlanetConfig {
+        let region_vcus = spec.cells_per_region * spec.vcus_per_cell;
+        let mean_rate_per_s =
+            self.util * region_vcus as f64 * slots_per_worker(self.chunk_s) as f64 / self.chunk_s;
+        PlanetConfig {
+            seed: mix64(self.seed, cell),
+            horizon_s: self.horizon_s,
+            epoch_s: self.epoch_s,
+            period_s: self.horizon_s,
+            chunk_s: self.chunk_s,
+            traffic_scale: spec.traffic_scale,
+            merge_shards: 4,
+            // At fleet scale a diurnal peak plateaus well under one
+            // backlog job per worker (queueing wait ~ a fraction of a
+            // chunk), so the campaign arms the router at 0.2 rather
+            // than the conservative library default: anti-phased peaks
+            // trip it, the off-peak trough stays below it.
+            overflow: OverflowPolicy {
+                enabled: overflow_enabled,
+                pressure_threshold: 0.2,
+                ..OverflowPolicy::default()
+            },
+            upgrades: true,
+            domain_failures: true,
+            regions: (0..spec.regions)
+                .map(|r| RegionSpec {
+                    name: format!("region{r}"),
+                    cells: spec.cells_per_region,
+                    vcus_per_cell: spec.vcus_per_cell,
+                    peak_hour: (20.0 + 24.0 * r as f64 / spec.regions as f64) % 24.0,
+                    mean_rate_per_s,
+                    amplitude: self.amplitude,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Reduced metrics of one campaign cell: the overflow-enabled planet
+/// plus the isolated counterfactual from the same seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionCampaignCell {
+    /// Regions on the planet.
+    pub regions: u64,
+    /// Cells per region.
+    pub cells_per_region: u64,
+    /// VCUs per cell.
+    pub vcus_per_cell: u64,
+    /// Fleet size.
+    pub total_vcus: u64,
+    /// Traffic multiplier.
+    pub traffic_scale: f64,
+    /// Jobs offered (identical in both runs by construction).
+    pub jobs: u64,
+    /// Jobs moved cross-region by the overflow router.
+    pub routed_jobs: u64,
+    /// routed / jobs.
+    pub routed_frac: f64,
+    /// Planet goodput with overflow routing.
+    pub goodput_overflow: f64,
+    /// Planet goodput with isolated regions.
+    pub goodput_isolated: f64,
+    /// Worst-region p99 queueing wait with overflow routing, seconds.
+    pub p99_wait_overflow_s: f64,
+    /// Worst-region p99 queueing wait isolated, seconds.
+    pub p99_wait_isolated_s: f64,
+    /// Job-weighted §4.4 blast radius (overflow run).
+    pub blast_radius: f64,
+    /// Delivered Mpix/s (overflow run).
+    pub perf_mpix_per_s: f64,
+    /// 3-year fleet TCO, USD.
+    pub tco_usd: f64,
+    /// Delivered Mpix/s per TCO dollar — the frontier axis.
+    pub perf_per_tco: f64,
+    /// Cross-shard merge digest of the overflow run.
+    pub merge_digest: u64,
+}
+
+/// Runs one campaign cell: the same planet seed with overflow routing
+/// on, then off.
+pub fn run_region_cell(
+    cfg: &RegionCampaignConfig,
+    spec: &RegionCellSpec,
+    cell: u64,
+) -> RegionCampaignCell {
+    let overflow: PlanetReport = PlanetSim::new(cfg.planet_config(spec, cell, true)).run();
+    let isolated: PlanetReport = PlanetSim::new(cfg.planet_config(spec, cell, false)).run();
+    assert_eq!(
+        overflow.jobs, isolated.jobs,
+        "both runs draw the same arrival streams"
+    );
+    RegionCampaignCell {
+        regions: spec.regions as u64,
+        cells_per_region: spec.cells_per_region as u64,
+        vcus_per_cell: spec.vcus_per_cell as u64,
+        total_vcus: spec.total_vcus() as u64,
+        traffic_scale: spec.traffic_scale,
+        jobs: overflow.jobs,
+        routed_jobs: overflow.routed_jobs,
+        routed_frac: overflow.routed_frac,
+        goodput_overflow: overflow.goodput_frac,
+        goodput_isolated: isolated.goodput_frac,
+        p99_wait_overflow_s: overflow.p99_wait_s,
+        p99_wait_isolated_s: isolated.p99_wait_s,
+        blast_radius: overflow.blast_radius,
+        perf_mpix_per_s: overflow.perf_mpix_per_s,
+        tco_usd: overflow.tco_usd,
+        perf_per_tco: overflow.perf_per_tco,
+        merge_digest: overflow.merge_digest,
+    }
+}
+
+/// Runs the sweep. Cells run in order — each planet already saturates
+/// the pool with its own cell shards, so the outer loop stays
+/// sequential (and memory stays bounded at one planet at a time).
+pub fn run_region_campaign(cfg: &RegionCampaignConfig) -> Vec<RegionCampaignCell> {
+    cfg.cells
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| run_region_cell(cfg, spec, i as u64))
+        .collect()
+}
+
+/// Fixed-precision float for byte-stable JSON ({:.6} is lossless at
+/// the magnitudes involved and avoids shortest-repr jitter).
+fn f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the sweep as deterministic JSON: stable key order, one cell
+/// per line. Two same-seed runs are byte-identical.
+pub fn render_region_json(cfg: &RegionCampaignConfig, cells: &[RegionCampaignCell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"campaign\": {{\"seed\": {}, \"horizon_s\": {}, \"epoch_s\": {}, \
+         \"chunk_s\": {}, \"util\": {}, \"amplitude\": {}, \"cells\": {}}},\n",
+        cfg.seed,
+        f(cfg.horizon_s),
+        f(cfg.epoch_s),
+        f(cfg.chunk_s),
+        f(cfg.util),
+        f(cfg.amplitude),
+        cells.len()
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"regions\": {}, \"cells_per_region\": {}, \"vcus_per_cell\": {}, \
+             \"total_vcus\": {}, \"traffic_scale\": {}, \"jobs\": {}, \"routed_jobs\": {}, \
+             \"routed_frac\": {}, \"goodput_overflow\": {}, \"goodput_isolated\": {}, \
+             \"p99_wait_overflow_s\": {}, \"p99_wait_isolated_s\": {}, \"blast_radius\": {}, \
+             \"perf_mpix_per_s\": {}, \"tco_usd\": {}, \"perf_per_tco\": {}, \
+             \"merge_digest\": {}}}{}\n",
+            c.regions,
+            c.cells_per_region,
+            c.vcus_per_cell,
+            c.total_vcus,
+            f(c.traffic_scale),
+            c.jobs,
+            c.routed_jobs,
+            f(c.routed_frac),
+            f(c.goodput_overflow),
+            f(c.goodput_isolated),
+            f(c.p99_wait_overflow_s),
+            f(c.p99_wait_isolated_s),
+            f(c.blast_radius),
+            f(c.perf_mpix_per_s),
+            f(c.tco_usd),
+            f(c.perf_per_tco),
+            c.merge_digest,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RegionCampaignConfig {
+        RegionCampaignConfig {
+            seed: 13,
+            horizon_s: 60.0,
+            epoch_s: 15.0,
+            chunk_s: 10.0,
+            util: 0.8,
+            amplitude: 0.9,
+            cells: vec![
+                RegionCellSpec {
+                    regions: 2,
+                    cells_per_region: 2,
+                    vcus_per_cell: 8,
+                    traffic_scale: 1.0,
+                },
+                RegionCellSpec {
+                    regions: 2,
+                    cells_per_region: 2,
+                    vcus_per_cell: 8,
+                    traffic_scale: 1.3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn campaign_is_byte_deterministic() {
+        let cfg = tiny();
+        let a = render_region_json(&cfg, &run_region_campaign(&cfg));
+        let b = render_region_json(&cfg, &run_region_campaign(&cfg));
+        assert_eq!(a, b, "same-seed campaigns must be byte-identical");
+        assert!(a.contains("\"goodput_overflow\""));
+    }
+
+    #[test]
+    fn seed_steers_the_campaign() {
+        let a = run_region_campaign(&tiny());
+        let b = run_region_campaign(&RegionCampaignConfig { seed: 14, ..tiny() });
+        assert_ne!(a, b, "a different seed must move some metric");
+    }
+
+    #[test]
+    fn overflow_never_reduces_goodput() {
+        for c in run_region_campaign(&tiny()) {
+            assert!(
+                c.goodput_overflow >= c.goodput_isolated,
+                "cell {}x{}x{} t={}: overflow {} < isolated {}",
+                c.regions,
+                c.cells_per_region,
+                c.vcus_per_cell,
+                c.traffic_scale,
+                c.goodput_overflow,
+                c.goodput_isolated
+            );
+            assert!(c.jobs > 0);
+            assert!(c.perf_per_tco > 0.0);
+        }
+    }
+
+    #[test]
+    fn traffic_growth_raises_offered_load() {
+        let cells = run_region_campaign(&tiny());
+        assert!(
+            cells[1].jobs > cells[0].jobs,
+            "1.3x traffic must offer more jobs: {} vs {}",
+            cells[1].jobs,
+            cells[0].jobs
+        );
+    }
+}

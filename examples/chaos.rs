@@ -97,6 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             factor: 2.0,
             max_attempts: 5,
             jitter_frac: 0.1,
+            ..RetryPolicy::default()
         },
         watchdog: WatchdogPolicy {
             grace_s: 5.0,

@@ -84,6 +84,15 @@ stage_serve_smoke() {
         | tail -n 3
 }
 
+# Smoke-run the region campaign: a seconds-long two-region sweep whose
+# in-binary gates (overflow routing never loses goodput vs isolated
+# regions, anti-phased peaks actually route) keep the planet layer
+# honest.
+stage_region_smoke() {
+    VCU_BENCH_SMOKE=1 cargo run -q -p vcu-bench --release --offline --bin bench_region_campaign \
+        | tail -n 3
+}
+
 # Compare a fresh smoke bench run against the committed results: a
 # >3x throughput regression on any stable row fails the build.
 stage_bench_gate() {
@@ -109,11 +118,12 @@ run_stage clippy stage_clippy
 run_stage examples stage_examples
 run_stage bench_smoke stage_bench_smoke
 run_stage serve_smoke stage_serve_smoke
+run_stage region_smoke stage_region_smoke
 run_stage bench_gate stage_bench_gate
 run_stage determinism stage_determinism
 
 if [[ "$STAGES_RUN" -eq 0 ]]; then
-    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke serve_smoke bench_gate determinism)" >&2
+    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke serve_smoke region_smoke bench_gate determinism)" >&2
     exit 1
 fi
 echo "tier-1 verify: OK ($STAGES_RUN stages)"

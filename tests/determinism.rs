@@ -417,3 +417,83 @@ fn serve_telemetry_snapshot_is_byte_identical() {
         "concurrency series must land"
     );
 }
+
+/// The region-campaign artifact pins like the fault and serve
+/// campaigns: two same-seed sweeps — each running every planet twice
+/// for the overflow/isolated counterfactual — render byte-identical
+/// JSON (what CI pins for `results/region_campaign.json`), and the
+/// seed is load-bearing. The verify script runs this suite under
+/// VCU_THREADS=1 and VCU_THREADS=4; every planet advance fans out
+/// through the work-stealing pool, so those two runs double as the
+/// thread-invariance check.
+#[test]
+fn region_campaign_json_is_byte_identical() {
+    use vcu_regions::{
+        render_region_json, run_region_campaign, RegionCampaignConfig, RegionCellSpec,
+    };
+    let cfg = RegionCampaignConfig {
+        seed: 1234,
+        horizon_s: 60.0,
+        epoch_s: 15.0,
+        chunk_s: 10.0,
+        util: 0.8,
+        amplitude: 0.85,
+        cells: vec![RegionCellSpec {
+            regions: 2,
+            cells_per_region: 2,
+            vcus_per_cell: 8,
+            traffic_scale: 1.0,
+        }],
+    };
+    let a = render_region_json(&cfg, &run_region_campaign(&cfg));
+    let b = render_region_json(&cfg, &run_region_campaign(&cfg));
+    assert_eq!(a, b, "same-seed region campaigns must be byte-identical");
+    let other = RegionCampaignConfig {
+        seed: 4321,
+        ..cfg.clone()
+    };
+    let c = render_region_json(&other, &run_region_campaign(&other));
+    assert_ne!(a, c, "campaign seed must steer the planet");
+    assert!(a.contains("\"merge_digest\""), "digest must land in JSON");
+}
+
+/// The cross-shard merge digest is order-sensitive, so equality across
+/// merge shard counts proves the merged event order — not just the
+/// aggregates — is invariant in how the queue is physically sharded.
+#[test]
+fn region_merge_is_shard_count_invariant() {
+    use vcu_regions::{OverflowPolicy, PlanetConfig, PlanetSim, RegionSpec};
+    fn tiny(merge_shards: usize) -> PlanetConfig {
+        PlanetConfig {
+            seed: 77,
+            horizon_s: 60.0,
+            epoch_s: 15.0,
+            period_s: 60.0,
+            chunk_s: 10.0,
+            traffic_scale: 1.0,
+            merge_shards,
+            overflow: OverflowPolicy {
+                pressure_threshold: 1.0,
+                ..OverflowPolicy::default()
+            },
+            upgrades: true,
+            domain_failures: true,
+            regions: (0..2)
+                .map(|r| RegionSpec {
+                    name: format!("r{r}"),
+                    cells: 2,
+                    vcus_per_cell: 8,
+                    peak_hour: 6.0 + 12.0 * r as f64,
+                    mean_rate_per_s: 6.0,
+                    amplitude: 0.9,
+                })
+                .collect(),
+        }
+    }
+    let one = PlanetSim::new(tiny(1)).run();
+    let four = PlanetSim::new(tiny(4)).run();
+    let seven = PlanetSim::new(tiny(7)).run();
+    assert_eq!(one, four, "merge_shards=4 changed the planet report");
+    assert_eq!(one, seven, "merge_shards=7 changed the planet report");
+    assert_eq!(one.merge_digest, four.merge_digest);
+}

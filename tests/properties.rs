@@ -561,6 +561,7 @@ mod fault_paths {
                     factor: rng.gen_range(1.0..3.0),
                     max_attempts: rng.gen_range(1u32..6),
                     jitter_frac: rng.gen_range(0.0..0.3),
+                    ..RetryPolicy::default()
                 },
                 watchdog: WatchdogPolicy {
                     grace_s: rng.gen_range(1.0..30.0),
@@ -605,6 +606,7 @@ mod fault_paths {
                 factor: rng.gen_range(1.0..4.0),
                 max_attempts: rng.gen_range(1u32..8),
                 jitter_frac: rng.gen_range(0.0..0.5),
+                ..RetryPolicy::default()
             };
             let seed = rng.next_u64();
             let mut a = vcu_rng::Rng::seed_from_u64(seed);
@@ -788,6 +790,148 @@ mod serving {
             // Misses can coalesce onto an in-flight transcode, so
             // misses bound transcodes from above.
             assert!(report.cache_misses >= report.transcodes);
+        }
+    }
+}
+
+// Planet-scale properties: sharding the event queue by pool/cell must
+// be a pure implementation detail. One cell behind the cross-shard
+// merge is the same machine as a plain `ClusterSim`, and the merge's
+// physical shard count can never change the merged event order or the
+// final report.
+mod region_scale {
+    use vcu_cluster::{cell_cluster_config, ClusterSim, JobSpec, Priority};
+    use vcu_regions::{region_job, RegionReport, RegionSim, RegionSpec};
+    use vcu_rng::{mix64, prop_cases, Rng};
+    use vcu_workloads::DiurnalCurve;
+
+    const CHUNK_S: f64 = 6.0;
+    const HORIZON_S: f64 = 90.0;
+    const EPOCH_S: f64 = 30.0;
+
+    /// Drives a region the way the planet does — epoch-windowed
+    /// injection from a compressed diurnal curve, then drain — and
+    /// returns the report plus the full arrival stream it offered.
+    fn drive_region(
+        seed: u64,
+        cells: usize,
+        vcus_per_cell: usize,
+        merge_shards: usize,
+        mean_rate_per_s: f64,
+    ) -> (RegionReport, Vec<f64>) {
+        let spec = RegionSpec {
+            name: "prop".to_owned(),
+            cells,
+            vcus_per_cell,
+            peak_hour: 6.0,
+            mean_rate_per_s,
+            amplitude: 0.8,
+        };
+        let curve = DiurnalCurve {
+            mean_rate_per_s,
+            amplitude: spec.amplitude,
+            peak_hour: spec.peak_hour,
+            period_s: HORIZON_S,
+        };
+        let mut arrival_rng = Rng::seed_from_u64(mix64(seed, 0xA1));
+        let mut region = RegionSim::new(spec, seed, CHUNK_S, merge_shards, Vec::new());
+        let mut offered = Vec::new();
+        let mut t = 0.0;
+        while t < HORIZON_S {
+            let t1 = (t + EPOCH_S).min(HORIZON_S);
+            let window = curve.arrivals_in(t, t1, &mut arrival_rng);
+            region.inject_epoch(&window, false);
+            offered.extend(window);
+            region.advance_to(t1);
+            t = t1;
+        }
+        let mut deadline = HORIZON_S;
+        while region.busy() {
+            deadline += HORIZON_S;
+            assert!(
+                deadline < HORIZON_S * 50.0,
+                "region failed to drain (seed {seed})"
+            );
+            region.advance_to(deadline);
+        }
+        (region.finish(), offered)
+    }
+
+    prop_cases! {
+        /// Tentpole equivalence: a one-cell region behind the sharded
+        /// merge resolves exactly like a plain `ClusterSim` handed the
+        /// same jobs in one batch — same counters, bit-identical
+        /// output accounting. Open-world injection and the cross-shard
+        /// merge must add nothing and lose nothing.
+        #[cases(6)]
+        fn one_cell_region_matches_plain_cluster_sim(rng) {
+            let seed = rng.gen_range(0u64..1 << 48);
+            let vcus = rng.gen_range(3usize..9);
+            let rate = rng.gen_range(0.3..1.2);
+            let (region, offered) = drive_region(seed, 1, vcus, 1, rate);
+
+            let jobs: Vec<JobSpec> = offered
+                .iter()
+                .enumerate()
+                .map(|(i, &arrival_s)| JobSpec {
+                    arrival_s,
+                    job: region_job(CHUNK_S),
+                    priority: match i % 4 {
+                        0 => Priority::Critical,
+                        3 => Priority::Batch,
+                        _ => Priority::Normal,
+                    },
+                    video_id: (i / 4) as u64,
+                })
+                .collect();
+            let plain =
+                ClusterSim::new(cell_cluster_config(vcus, mix64(seed, 0)), jobs, Vec::new()).run();
+
+            assert_eq!(region.jobs, offered.len() as u64);
+            assert_eq!(
+                (region.completed, region.failed, region.shed, region.stranded),
+                (plain.completed, plain.failed, plain.shed, plain.stranded),
+                "seed {seed}: one-cell region diverged from plain ClusterSim"
+            );
+            assert_eq!(region.black_holed, plain.escaped_corruptions);
+            assert_eq!(region.watchdog_fired, plain.watchdog_fired);
+            assert_eq!(region.repairs, plain.repairs);
+            assert_eq!(
+                region.total_output_mpix.to_bits(),
+                plain.total_output_mpix.to_bits(),
+                "output accounting must be bit-identical"
+            );
+            assert_eq!(region.p99_wait_s.to_bits(), plain.p99_wait_s.to_bits());
+            // mean_wait rides a completion-weighted average (x*c/c), so
+            // allow one rounding step rather than bit equality.
+            assert!(
+                (region.mean_wait_s - plain.mean_wait_s).abs()
+                    <= plain.mean_wait_s.abs() * 1e-12,
+                "mean wait drifted: {} vs {}",
+                region.mean_wait_s,
+                plain.mean_wait_s
+            );
+            assert_eq!(region.merged_resolutions, plain.completed + plain.failed);
+        }
+
+        /// The merge's physical shard count is invisible: any shard
+        /// count produces the same merged event order (pinned by the
+        /// order-sensitive digest) and the same final report.
+        #[cases(4)]
+        fn merge_shard_count_never_changes_the_report(rng) {
+            let seed = rng.gen_range(0u64..1 << 48);
+            let cells = rng.gen_range(2usize..5);
+            let vcus = rng.gen_range(3usize..7);
+            let rate = rng.gen_range(0.5..1.5);
+            let (one, offered_one) = drive_region(seed, cells, vcus, 1, rate);
+            let shards = rng.gen_range(2usize..9);
+            let (many, offered_many) = drive_region(seed, cells, vcus, shards, rate);
+            assert_eq!(offered_one, offered_many, "same seed, same arrivals");
+            assert_eq!(
+                one, many,
+                "seed {seed}: merge_shards {shards} changed the region outcome"
+            );
+            assert_eq!(one.merge_digest, many.merge_digest);
         }
     }
 }

@@ -8,6 +8,7 @@
 
 use vcu_bench::timing::{host_cores, results_path, smoke, Harness};
 use vcu_codec::entropy::{AdaptiveModel, BoolDecoder, BoolEncoder};
+use vcu_codec::kernels;
 use vcu_codec::motion::{satd, search, SearchParams};
 use vcu_codec::stats::CodingStats;
 use vcu_codec::tempfilter::temporal_filter;
@@ -90,6 +91,57 @@ fn bench_motion(h: &mut Harness) {
     let a: Vec<u8> = (0..256).map(|i| (i * 7 % 251) as u8).collect();
     let b: Vec<u8> = (0..256).map(|i| (i * 11 % 251) as u8).collect();
     h.bench("motion/satd16", || satd(&a, &b, 16, 16));
+}
+
+/// Per-kernel micro-bench rows, one per available SIMD backend, so the
+/// macro speedups can be attributed. Row naming (`codec/kern_<k>_<be>`)
+/// is load-bearing: `check_bench.sh` gates each SIMD row against its
+/// `_scalar` sibling when the host reports the feature. Every row calls
+/// the `*_with` dispatch variant, leaving the process-global backend
+/// untouched.
+fn bench_kernels(h: &mut Harness) {
+    let backends = kernels::available_backends();
+    let px = 32u64 * 32;
+
+    let cur: Vec<u8> = (0..1024).map(|i: u32| (i * 7 % 251) as u8).collect();
+    let pred: Vec<u8> = (0..1024).map(|i: u32| (i * 13 % 241) as u8).collect();
+    for &bk in &backends {
+        h.bench_elements(&format!("codec/kern_sad_{}", bk.name()), Some(px), || {
+            kernels::sad_rows_thresholded_with(bk, &cur, &pred, 32, u64::MAX)
+        });
+    }
+    for &bk in &backends {
+        h.bench_elements(&format!("codec/kern_satd_{}", bk.name()), Some(px), || {
+            kernels::satd_with(bk, &cur, &pred, 32, 32)
+        });
+    }
+
+    let plane = Plane::from_fn(96, 96, |x, y| (((x * 5) ^ (y * 3)) % 256) as u8);
+    let mut dst = vec![0u8; 1024];
+    for &bk in &backends {
+        h.bench_elements(&format!("codec/kern_hpel_{}", bk.name()), Some(px), || {
+            kernels::plane_copy_block_hpel_with(bk, &plane, 8, 8, 1, 1, 32, 32, &mut dst);
+        });
+    }
+
+    // Transform pass over a synthetic 32x32 basis (timing only; the
+    // real bases are crate-private, and the arithmetic shape is what
+    // matters here).
+    let n = 32usize;
+    let m_rows: Vec<f64> = (0..n * n).map(|i| ((i * 37 % 97) as f64) / 97.0).collect();
+    let mut m_cols = vec![0.0f64; n * n];
+    for q in 0..n {
+        for s in 0..n {
+            m_cols[s * n + q] = m_rows[q * n + s];
+        }
+    }
+    let input: Vec<f64> = (0..n * n).map(|i| ((i * 11 % 61) as f64) - 30.0).collect();
+    let mut out = vec![0.0f64; n * n];
+    for &bk in &backends {
+        h.bench_elements(&format!("codec/kern_tx_{}", bk.name()), Some(px), || {
+            kernels::tx_pass_strided_with(bk, &m_rows, &m_cols, &input, n, &mut out);
+        });
+    }
 }
 
 fn bench_temporal_filter(h: &mut Harness) {
@@ -205,6 +257,7 @@ fn main() {
     bench_transform(&mut h);
     bench_entropy(&mut h);
     bench_motion(&mut h);
+    bench_kernels(&mut h);
     bench_temporal_filter(&mut h);
     bench_encode_decode(&mut h, if smoke { 2 } else { 6 });
     let (pframes, pchunk) = if smoke { (4, 2) } else { (12, 3) };

@@ -181,13 +181,9 @@ fn reconstruct_tile(
     }
 }
 
-/// Computes the spatial residual `cur - pred` as i16.
+/// Computes the spatial residual `cur - pred` as i16 (dispatched).
 pub(crate) fn compute_residual(cur: &[u8], pred: &[u8], out: &mut [i16]) {
-    debug_assert_eq!(cur.len(), pred.len());
-    debug_assert_eq!(cur.len(), out.len());
-    for ((c, p), o) in cur.iter().zip(pred).zip(out.iter_mut()) {
-        *o = *c as i16 - *p as i16;
-    }
+    crate::kernels::compute_residual(cur, pred, out);
 }
 
 #[cfg(test)]

@@ -169,6 +169,64 @@ struct DecScratch {
 /// index is not part of the key.
 type SearchKey = (usize, usize, usize, usize, i16, i16, SearchParams);
 
+/// Multiply-xor hasher for the search memo. The memo is keyed by small
+/// integer tuples, looked up and inserted but never iterated, so hash
+/// quality only affects bucket distribution — never output bytes — and
+/// SipHash's keyed-DoS resistance buys nothing here while costing ~5%
+/// of the whole encode in the default hasher.
+#[derive(Default)]
+struct SearchKeyHasher {
+    hash: u64,
+}
+
+impl std::hash::Hasher for SearchKeyHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.write_u64(v as u16 as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[derive(Default, Clone)]
+struct SearchKeyHash;
+
+impl std::hash::BuildHasher for SearchKeyHash {
+    type Hasher = SearchKeyHasher;
+    #[inline]
+    fn build_hasher(&self) -> SearchKeyHasher {
+        SearchKeyHasher::default()
+    }
+}
+
 /// A leaf-block coding decision.
 #[derive(Debug, Clone)]
 enum BlockMode {
@@ -206,7 +264,7 @@ pub fn encode_frame(
         search: cfg.toolset.search_params(),
         stats,
         scratch: EncScratch::default(),
-        search_cache: HashMap::new(),
+        search_cache: HashMap::with_capacity_and_hasher(1024, SearchKeyHash),
     };
 
     let sb = cfg.profile.superblock_size();
@@ -251,7 +309,7 @@ struct FrameEnc<'a> {
     /// the cache stores the result *and* the exact `CodingStats` delta
     /// the live search charged, replaying it on a hit so metering (and
     /// thus the chip timing model) is byte-identical to searching twice.
-    search_cache: HashMap<SearchKey, (SearchResult, CodingStats)>,
+    search_cache: HashMap<SearchKey, (SearchResult, CodingStats), SearchKeyHash>,
 }
 
 impl FrameEnc<'_> {
@@ -450,9 +508,7 @@ impl FrameEnc<'_> {
                     p2.resize(bw * bh, 0);
                     mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, p2);
                     self.stats.mc_pixels += (bw * bh) as u64;
-                    for (a, b) in pred.iter_mut().zip(p2.iter()) {
-                        *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
-                    }
+                    crate::kernels::avg_u8_inplace(&mut pred, p2);
                 }
                 self.last_mv = *mv;
             }
@@ -502,11 +558,12 @@ impl FrameEnc<'_> {
                     enc, models, tile_res, tw, th, t, qp, deadzone, trellis, stats, tile,
                 );
                 for r in 0..th {
-                    for c in 0..tw {
-                        let p = pred[(ty + r) * bw + tx + c];
-                        recon_blk[(ty + r) * bw + tx + c] =
-                            (p as i32 + tile.recon[r * tw + c] as i32).clamp(0, 255) as u8;
-                    }
+                    let row = (ty + r) * bw + tx;
+                    crate::kernels::add_residual_clamp(
+                        &pred[row..row + tw],
+                        &tile.recon[r * tw..(r + 1) * tw],
+                        &mut recon_blk[row..row + tw],
+                    );
                 }
             });
         }
@@ -566,9 +623,7 @@ impl FrameEnc<'_> {
                         p2.clear();
                         p2.resize(cbw * cbh, 0);
                         mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, p2);
-                        for (a, b) in pred.iter_mut().zip(p2.iter()) {
-                            *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
-                        }
+                        crate::kernels::avg_u8_inplace(&mut pred, p2);
                     }
                     self.stats.mc_pixels += (cbw * cbh) as u64;
                 }
@@ -596,11 +651,12 @@ impl FrameEnc<'_> {
                         enc, models, tile_res, tw, th, t, chroma_qp, deadzone, false, stats, tile,
                     );
                     for r in 0..th {
-                        for c in 0..tw {
-                            let p = pred[(ty + r) * cbw + tx + c];
-                            recon_blk[(ty + r) * cbw + tx + c] =
-                                (p as i32 + tile.recon[r * tw + c] as i32).clamp(0, 255) as u8;
-                        }
+                        let row = (ty + r) * cbw + tx;
+                        crate::kernels::add_residual_clamp(
+                            &pred[row..row + tw],
+                            &tile.recon[r * tw..(r + 1) * tw],
+                            &mut recon_blk[row..row + tw],
+                        );
                     }
                 });
             }
@@ -631,10 +687,7 @@ impl FrameEnc<'_> {
                 stats.sad_pixels += 2 * (bw * bh) as u64; // SATD ~2x SAD cost
                 satd(cur, pred, bw, bh)
             } else {
-                pred.iter()
-                    .zip(cur)
-                    .map(|(a, b)| (*a as i32 - *b as i32).unsigned_abs() as u64)
-                    .sum()
+                crate::kernels::sad_slice(pred, cur)
             }
         };
 
@@ -703,9 +756,7 @@ impl FrameEnc<'_> {
                 mc_block(self.refs[r1].y(), x, y, per_ref[r1].mv, bw, bh, &mut p1);
                 mc_block(self.refs[r2].y(), x, y, per_ref[r2].mv, bw, bh, &mut p2);
                 self.stats.mc_pixels += 2 * (bw * bh) as u64;
-                for (a, b) in p1.iter_mut().zip(p2.iter()) {
-                    *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
-                }
+                crate::kernels::avg_u8_inplace(&mut p1, &p2);
                 let sad: u64 = metric(cur_blk, &p1, self.stats);
                 self.scratch.mode_p1 = p1;
                 self.scratch.mode_p2 = p2;
@@ -905,9 +956,7 @@ impl FrameDec<'_> {
                     p2.resize(bw * bh, 0);
                     mc_block(self.refs[*r2].y(), x, y, *mv2, bw, bh, p2);
                     self.stats.mc_pixels += (bw * bh) as u64;
-                    for (a, b) in pred.iter_mut().zip(p2.iter()) {
-                        *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
-                    }
+                    crate::kernels::avg_u8_inplace(&mut pred, p2);
                 }
             }
         };
@@ -939,11 +988,12 @@ impl FrameDec<'_> {
             for_each_tile(bw, bh, t, |tx, ty, tw, th| {
                 decode_tile(dec, models, tw, th, t, qp, stats, tile);
                 for r in 0..th {
-                    for c in 0..tw {
-                        let p = pred[(ty + r) * bw + tx + c];
-                        recon_blk[(ty + r) * bw + tx + c] =
-                            (p as i32 + tile.recon[r * tw + c] as i32).clamp(0, 255) as u8;
-                    }
+                    let row = (ty + r) * bw + tx;
+                    crate::kernels::add_residual_clamp(
+                        &pred[row..row + tw],
+                        &tile.recon[r * tw..(r + 1) * tw],
+                        &mut recon_blk[row..row + tw],
+                    );
                 }
             });
         }
@@ -995,9 +1045,7 @@ impl FrameDec<'_> {
                         p2.clear();
                         p2.resize(cbw * cbh, 0);
                         mc_block(refs_p[*r2], cx, cy, cmv2, cbw, cbh, p2);
-                        for (a, b) in pred.iter_mut().zip(p2.iter()) {
-                            *a = (*a as u16 + *b as u16).div_ceil(2) as u8;
-                        }
+                        crate::kernels::avg_u8_inplace(&mut pred, p2);
                     }
                     self.stats.mc_pixels += (cbw * cbh) as u64;
                 }
@@ -1013,11 +1061,12 @@ impl FrameDec<'_> {
                 for_each_tile(cbw, cbh, t, |tx, ty, tw, th| {
                     decode_tile(dec, models, tw, th, t, chroma_qp, stats, tile);
                     for r in 0..th {
-                        for c in 0..tw {
-                            let p = pred[(ty + r) * cbw + tx + c];
-                            recon_blk[(ty + r) * cbw + tx + c] =
-                                (p as i32 + tile.recon[r * tw + c] as i32).clamp(0, 255) as u8;
-                        }
+                        let row = (ty + r) * cbw + tx;
+                        crate::kernels::add_residual_clamp(
+                            &pred[row..row + tw],
+                            &tile.recon[r * tw..(r + 1) * tw],
+                            &mut recon_blk[row..row + tw],
+                        );
                     }
                 });
             }

@@ -1,0 +1,703 @@
+//! Pixel-kernel layer with runtime SIMD dispatch.
+//!
+//! Every hot inner loop of the encoder — SAD, Hadamard SATD, half-pel
+//! motion compensation, residual/reconstruction, compound averaging,
+//! temporal-filter blending, and the separable transform passes — goes
+//! through this module. Each kernel has:
+//!
+//! - a portable scalar reference in [`scalar`] (the exact pre-kernel
+//!   loop, moved not rewritten), and
+//! - optional x86_64 SSE2/AVX2 implementations in `x86` that are
+//!   **bit-identical** to the scalar reference (see the per-kernel
+//!   proofs in `x86.rs`).
+//!
+//! The active backend is a process-wide dispatch table initialised
+//! lazily from the `VCU_SIMD` environment variable:
+//!
+//! | value          | meaning                                          |
+//! |----------------|--------------------------------------------------|
+//! | `off`/`scalar` | portable scalar kernels                          |
+//! | `sse2`         | SSE2 (falls back to scalar if unavailable)       |
+//! | `avx2`         | AVX2 (falls back to sse2, then scalar)           |
+//! | `auto` / unset | best backend the CPU reports (default)           |
+//!
+//! Because every backend is byte-identical, the choice is invisible in
+//! golden bitstreams, work-unit counters, and telemetry snapshots —
+//! `VCU_SIMD` only moves wall-clock time. Tests pin this by running
+//! whole encodes and per-kernel differential sweeps across backends.
+//!
+//! Each dispatched kernel also has a `*_with(backend, ...)` variant so
+//! tests and micro-benches can exercise a specific backend without
+//! mutating process-global state.
+
+pub(crate) mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use vcu_media::Plane;
+
+/// A kernel implementation set. Ordered by preference: higher is wider.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum Backend {
+    /// Portable scalar reference kernels.
+    Scalar = 1,
+    /// 128-bit SSE2 kernels (baseline on every x86_64 CPU).
+    Sse2 = 2,
+    /// 256-bit AVX2 kernels.
+    Avx2 = 3,
+}
+
+impl Backend {
+    /// Stable lower-case name, matching the `VCU_SIMD` vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// 0 = uninitialised; otherwise a `Backend` discriminant. Benign race:
+/// concurrent first calls compute the same value from the same env +
+/// CPUID inputs, so double-initialisation is harmless.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn from_u8(v: u8) -> Backend {
+    match v {
+        1 => Backend::Scalar,
+        2 => Backend::Sse2,
+        3 => Backend::Avx2,
+        _ => unreachable!("invalid backend discriminant {v}"),
+    }
+}
+
+fn cpu_has(b: Backend) -> bool {
+    match b {
+        Backend::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => is_x86_feature_detected!("sse2"),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => is_x86_feature_detected!("avx2"),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// Backends usable on this CPU, in ascending preference order
+/// (`Scalar` first). `Scalar` is always present.
+pub fn available_backends() -> Vec<Backend> {
+    [Backend::Scalar, Backend::Sse2, Backend::Avx2]
+        .into_iter()
+        .filter(|&b| cpu_has(b))
+        .collect()
+}
+
+fn best_available() -> Backend {
+    *available_backends().last().unwrap_or(&Backend::Scalar)
+}
+
+/// Resolves `VCU_SIMD` against CPU features. A requested SIMD level the
+/// CPU lacks degrades gracefully (`avx2` → `sse2` → `scalar`); an
+/// unknown value is a hard error so typos can't silently change what a
+/// benchmark measured.
+fn default_backend() -> Backend {
+    match std::env::var("VCU_SIMD").unwrap_or_default().as_str() {
+        "off" | "scalar" => Backend::Scalar,
+        "sse2" => {
+            if cpu_has(Backend::Sse2) {
+                Backend::Sse2
+            } else {
+                Backend::Scalar
+            }
+        }
+        "avx2" => {
+            if cpu_has(Backend::Avx2) {
+                Backend::Avx2
+            } else if cpu_has(Backend::Sse2) {
+                Backend::Sse2
+            } else {
+                Backend::Scalar
+            }
+        }
+        "" | "auto" => best_available(),
+        other => panic!("unknown VCU_SIMD value {other:?}; expected off|sse2|avx2|auto"),
+    }
+}
+
+/// The process-wide active backend, initialising from `VCU_SIMD` on
+/// first use.
+pub fn backend() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => {
+            let b = default_backend();
+            ACTIVE.store(b as u8, Ordering::Relaxed);
+            b
+        }
+        v => from_u8(v),
+    }
+}
+
+/// Overrides the process-wide backend (tests / benches).
+///
+/// # Panics
+///
+/// Panics if the CPU does not support `b`.
+pub fn set_backend(b: Backend) {
+    assert!(cpu_has(b), "backend {} not supported by this CPU", b.name());
+    ACTIVE.store(b as u8, Ordering::Relaxed);
+}
+
+// ----------------------------------------------------------------
+// Dispatched kernels. Each `foo` reads the global backend and calls
+// `foo_with`; the `_with` variant is the test/bench entry point.
+// On non-x86_64 targets every backend resolves to the scalar path.
+// ----------------------------------------------------------------
+
+/// Plain SAD over two equal-length slices.
+#[inline]
+pub fn sad_slice(a: &[u8], b: &[u8]) -> u64 {
+    sad_slice_with(backend(), a, b)
+}
+
+#[inline]
+pub fn sad_slice_with(bk: Backend, a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    match bk {
+        Backend::Scalar => scalar::sad_slice(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::sad_slice_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::sad_slice_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::sad_slice(a, b),
+    }
+}
+
+/// Row-granular thresholded SAD over two `rows × bw` block buffers.
+/// Returns `(sad, pixels_examined)`; see `scalar::sad_rows_thresholded`
+/// for the metering contract.
+#[inline]
+pub fn sad_rows_thresholded(a: &[u8], b: &[u8], bw: usize, threshold: u64) -> (u64, u64) {
+    sad_rows_thresholded_with(backend(), a, b, bw, threshold)
+}
+
+#[inline]
+pub fn sad_rows_thresholded_with(
+    bk: Backend,
+    a: &[u8],
+    b: &[u8],
+    bw: usize,
+    threshold: u64,
+) -> (u64, u64) {
+    debug_assert_eq!(a.len(), b.len());
+    match bk {
+        Backend::Scalar => scalar::sad_rows_thresholded(a, b, bw, threshold),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::sad_rows_thresholded_sse2(a, b, bw, threshold) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::sad_rows_thresholded_avx2(a, b, bw, threshold) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::sad_rows_thresholded(a, b, bw, threshold),
+    }
+}
+
+/// Thresholded SAD of a block of `plane` at `(x, y)` against `other`,
+/// with row-granular early exit. Out-of-bounds positions use the
+/// plane's edge-clamped path (identical for every backend); in-bounds
+/// positions vectorize over the plane rows directly.
+#[inline]
+pub fn plane_sad_block_thresholded(
+    plane: &Plane,
+    x: isize,
+    y: isize,
+    bw: usize,
+    bh: usize,
+    other: &[u8],
+    threshold: u64,
+) -> (u64, u64) {
+    plane_sad_block_thresholded_with(backend(), plane, x, y, bw, bh, other, threshold)
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn plane_sad_block_thresholded_with(
+    bk: Backend,
+    plane: &Plane,
+    x: isize,
+    y: isize,
+    bw: usize,
+    bh: usize,
+    other: &[u8],
+    threshold: u64,
+) -> (u64, u64) {
+    let in_bounds = x >= 0
+        && y >= 0
+        && (x as usize) + bw <= plane.width()
+        && (y as usize) + bh <= plane.height();
+    if !in_bounds {
+        // Edge-clamped fetch: a clamped row decomposes into a
+        // replicated left border + contiguous middle + replicated
+        // right border, so SIMD backends stay exact here too.
+        return match bk {
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse2 => unsafe {
+                x86::sad_block_clamped_sse2(
+                    plane.data(),
+                    plane.width(),
+                    plane.height(),
+                    x,
+                    y,
+                    bw,
+                    bh,
+                    other,
+                    threshold,
+                )
+            },
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => unsafe {
+                x86::sad_block_clamped_avx2(
+                    plane.data(),
+                    plane.width(),
+                    plane.height(),
+                    x,
+                    y,
+                    bw,
+                    bh,
+                    other,
+                    threshold,
+                )
+            },
+            _ => plane.sad_block_thresholded(x, y, bw, bh, other, threshold),
+        };
+    }
+    let (x, y) = (x as usize, y as usize);
+    match bk {
+        Backend::Scalar => {
+            plane.sad_block_thresholded(x as isize, y as isize, bw, bh, other, threshold)
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe {
+            x86::sad_block_thresholded_sse2(
+                plane.data(),
+                plane.width(),
+                x,
+                y,
+                bw,
+                bh,
+                other,
+                threshold,
+            )
+        },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            x86::sad_block_thresholded_avx2(
+                plane.data(),
+                plane.width(),
+                x,
+                y,
+                bw,
+                bh,
+                other,
+                threshold,
+            )
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => plane.sad_block_thresholded(x as isize, y as isize, bw, bh, other, threshold),
+    }
+}
+
+/// SATD over 8×8 Hadamard blocks (abs-diff fallback on partial edges).
+#[inline]
+pub fn satd(cur: &[u8], pred: &[u8], bw: usize, bh: usize) -> u64 {
+    satd_with(backend(), cur, pred, bw, bh)
+}
+
+#[inline]
+pub fn satd_with(bk: Backend, cur: &[u8], pred: &[u8], bw: usize, bh: usize) -> u64 {
+    debug_assert_eq!(cur.len(), bw * bh);
+    debug_assert_eq!(pred.len(), bw * bh);
+    match bk {
+        Backend::Scalar => scalar::satd(cur, pred, bw, bh),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::satd_sse2(cur, pred, bw, bh) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::satd_avx2(cur, pred, bw, bh) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::satd(cur, pred, bw, bh),
+    }
+}
+
+/// Half-pel block fetch: the dispatched form of
+/// [`Plane::copy_block_hpel`]. Full-pel fetches and blocks touching the
+/// clamped border delegate to the plane (identical for every backend);
+/// interior half-pel blocks use the vectorized 2-tap/4-tap kernels.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn plane_copy_block_hpel(
+    plane: &Plane,
+    x: isize,
+    y: isize,
+    fx: u8,
+    fy: u8,
+    bw: usize,
+    bh: usize,
+    dst: &mut [u8],
+) {
+    plane_copy_block_hpel_with(backend(), plane, x, y, fx, fy, bw, bh, dst)
+}
+
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn plane_copy_block_hpel_with(
+    bk: Backend,
+    plane: &Plane,
+    x: isize,
+    y: isize,
+    fx: u8,
+    fy: u8,
+    bw: usize,
+    bh: usize,
+    dst: &mut [u8],
+) {
+    assert_eq!(dst.len(), bw * bh, "destination length mismatch");
+    assert!(fx <= 1 && fy <= 1, "fractions are half-pel numerators");
+    if (fx == 0 && fy == 0) || bk == Backend::Scalar {
+        return plane.copy_block_hpel(x, y, fx, fy, bw, bh, dst);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    plane.copy_block_hpel(x, y, fx, fy, bw, bh, dst);
+    #[cfg(target_arch = "x86_64")]
+    {
+        let need_w = bw + fx as usize;
+        let need_h = bh + fy as usize;
+        let interior = x >= 0
+            && y >= 0
+            && (x as usize) + need_w <= plane.width()
+            && (y as usize) + need_h <= plane.height();
+        if interior {
+            return hpel_dispatch(
+                bk,
+                plane.data(),
+                plane.width(),
+                x as usize,
+                y as usize,
+                fx,
+                fy,
+                bw,
+                bh,
+                dst,
+            );
+        }
+        // Border-touching fractional fetch: materialize the clamped
+        // (bw+fx) x (bh+fy) support once, then run the same interior
+        // kernels over it. The support holds exactly the `get_clamped`
+        // values the scalar path reads, so the taps see identical
+        // inputs and produce identical bytes.
+        const MAX_SUPPORT: usize = 65 * 65;
+        if need_w * need_h > MAX_SUPPORT {
+            return plane.copy_block_hpel(x, y, fx, fy, bw, bh, dst);
+        }
+        let mut support = [0u8; MAX_SUPPORT];
+        plane.copy_block_clamped(x, y, need_w, need_h, &mut support[..need_w * need_h]);
+        hpel_dispatch(
+            bk,
+            &support[..need_w * need_h],
+            need_w,
+            0,
+            0,
+            fx,
+            fy,
+            bw,
+            bh,
+            dst,
+        );
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn hpel_dispatch(
+    bk: Backend,
+    data: &[u8],
+    stride: usize,
+    x: usize,
+    y: usize,
+    fx: u8,
+    fy: u8,
+    bw: usize,
+    bh: usize,
+    dst: &mut [u8],
+) {
+    match bk {
+        Backend::Sse2 => unsafe {
+            match (fx, fy) {
+                (1, 0) => x86::hpel_h_sse2(data, stride, x, y, bw, bh, dst),
+                (0, 1) => x86::hpel_v_sse2(data, stride, x, y, bw, bh, dst),
+                _ => x86::hpel_hv_sse2(data, stride, x, y, bw, bh, dst),
+            }
+        },
+        Backend::Avx2 => unsafe {
+            match (fx, fy) {
+                (1, 0) => x86::hpel_h_avx2(data, stride, x, y, bw, bh, dst),
+                (0, 1) => x86::hpel_v_avx2(data, stride, x, y, bw, bh, dst),
+                _ => x86::hpel_hv_avx2(data, stride, x, y, bw, bh, dst),
+            }
+        },
+        Backend::Scalar => unreachable!("scalar backend is handled by the caller"),
+    }
+}
+
+/// Spatial residual `cur - pred` as i16.
+#[inline]
+pub fn compute_residual(cur: &[u8], pred: &[u8], out: &mut [i16]) {
+    compute_residual_with(backend(), cur, pred, out)
+}
+
+#[inline]
+pub fn compute_residual_with(bk: Backend, cur: &[u8], pred: &[u8], out: &mut [i16]) {
+    debug_assert_eq!(cur.len(), pred.len());
+    debug_assert_eq!(cur.len(), out.len());
+    match bk {
+        Backend::Scalar => scalar::compute_residual(cur, pred, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::compute_residual_sse2(cur, pred, out) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::compute_residual_avx2(cur, pred, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::compute_residual(cur, pred, out),
+    }
+}
+
+/// Reconstruction add: `out[i] = clamp(pred[i] + resid[i], 0, 255)`.
+#[inline]
+pub fn add_residual_clamp(pred: &[u8], resid: &[i16], out: &mut [u8]) {
+    add_residual_clamp_with(backend(), pred, resid, out)
+}
+
+#[inline]
+pub fn add_residual_clamp_with(bk: Backend, pred: &[u8], resid: &[i16], out: &mut [u8]) {
+    debug_assert_eq!(pred.len(), resid.len());
+    debug_assert_eq!(pred.len(), out.len());
+    match bk {
+        Backend::Scalar => scalar::add_residual_clamp(pred, resid, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::add_residual_clamp_sse2(pred, resid, out) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::add_residual_clamp_avx2(pred, resid, out) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::add_residual_clamp(pred, resid, out),
+    }
+}
+
+/// Compound-prediction average `a[i] = ceil((a[i] + b[i]) / 2)`.
+#[inline]
+pub fn avg_u8_inplace(a: &mut [u8], b: &[u8]) {
+    avg_u8_inplace_with(backend(), a, b)
+}
+
+#[inline]
+pub fn avg_u8_inplace_with(bk: Backend, a: &mut [u8], b: &[u8]) {
+    debug_assert_eq!(a.len(), b.len());
+    match bk {
+        Backend::Scalar => scalar::avg_u8_inplace(a, b),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::avg_u8_inplace_sse2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::avg_u8_inplace_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::avg_u8_inplace(a, b),
+    }
+}
+
+/// Temporal-filter blend `acc[i] += src[i] * weight` (independent f64
+/// chains, so lane grouping cannot change rounding).
+#[inline]
+pub fn blend_accumulate(acc: &mut [f64], src: &[u8], weight: f64) {
+    blend_accumulate_with(backend(), acc, src, weight)
+}
+
+#[inline]
+pub fn blend_accumulate_with(bk: Backend, acc: &mut [f64], src: &[u8], weight: f64) {
+    debug_assert_eq!(acc.len(), src.len());
+    match bk {
+        Backend::Scalar => scalar::blend_accumulate(acc, src, weight),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::blend_accumulate_sse2(acc, src, weight) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::blend_accumulate_avx2(acc, src, weight) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::blend_accumulate(acc, src, weight),
+    }
+}
+
+/// Separable-transform pass with strided output: `out[q*n + j] = Σ_s
+/// m_rows[q*n + s] * input[j*n + s]`. `m_cols` must be the transpose of
+/// `m_rows` (SIMD backends load matrix columns contiguously; scalar
+/// reads `m_rows` exactly as the pre-kernel code did). Per-output
+/// accumulation order is ascending `s` in every backend, so f64 results
+/// are bit-identical.
+#[inline]
+pub fn tx_pass_strided(m_rows: &[f64], m_cols: &[f64], input: &[f64], n: usize, out: &mut [f64]) {
+    tx_pass_strided_with(backend(), m_rows, m_cols, input, n, out)
+}
+
+#[inline]
+pub fn tx_pass_strided_with(
+    bk: Backend,
+    m_rows: &[f64],
+    m_cols: &[f64],
+    input: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    debug_assert!(n.is_multiple_of(2), "transform sizes are even");
+    match bk {
+        Backend::Scalar => scalar::tx_pass_strided(m_rows, input, n, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::tx_pass_strided_sse2(m_cols, input, n, out) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            if n.is_multiple_of(4) {
+                x86::tx_pass_strided_avx2(m_cols, input, n, out)
+            } else {
+                x86::tx_pass_strided_sse2(m_cols, input, n, out)
+            }
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::tx_pass_strided(m_rows, input, n, out),
+    }
+}
+
+/// Separable-transform pass with contiguous output: `out[j*n + q] = Σ_s
+/// input[j*n + s] * m_rows[q*n + s]`. Same `m_cols` contract as
+/// [`tx_pass_strided`].
+#[inline]
+pub fn tx_pass_contig(m_rows: &[f64], m_cols: &[f64], input: &[f64], n: usize, out: &mut [f64]) {
+    tx_pass_contig_with(backend(), m_rows, m_cols, input, n, out)
+}
+
+#[inline]
+pub fn tx_pass_contig_with(
+    bk: Backend,
+    m_rows: &[f64],
+    m_cols: &[f64],
+    input: &[f64],
+    n: usize,
+    out: &mut [f64],
+) {
+    debug_assert!(n.is_multiple_of(2), "transform sizes are even");
+    match bk {
+        Backend::Scalar => scalar::tx_pass_contig(m_rows, input, n, out),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::tx_pass_contig_sse2(m_cols, input, n, out) },
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe {
+            if n.is_multiple_of(4) {
+                x86::tx_pass_contig_avx2(m_cols, input, n, out)
+            } else {
+                x86::tx_pass_contig_sse2(m_cols, input, n, out)
+            }
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => scalar::tx_pass_contig(m_rows, input, n, out),
+    }
+}
+
+/// Rounds each f64 half-away-from-zero, clamps to the i16 range, and
+/// narrows — the inverse transform's final store. SSE2 lacks the
+/// truncating `round_pd` the exact vector decomposition needs, so only
+/// AVX2 diverges from the scalar loop (bit-identically; see `x86.rs`).
+#[inline]
+pub fn round_clamp_i16(src: &[f64], out: &mut [i16]) {
+    round_clamp_i16_with(backend(), src, out)
+}
+
+#[inline]
+pub fn round_clamp_i16_with(bk: Backend, src: &[f64], out: &mut [i16]) {
+    debug_assert_eq!(src.len(), out.len());
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::round_clamp_i16_avx2(src, out) },
+        _ => scalar::round_clamp_i16(src, out),
+    }
+}
+
+/// Dead-zone quantization of transform coefficients to integer
+/// levels. Inputs must be finite (transform outputs always are); on
+/// finite inputs the AVX2 path is bit-identical — `vdivpd` is the
+/// same correctly-rounded division, `floor` maps to `round_pd`
+/// toward negative infinity, and the magnitude cap commutes with the
+/// f64→i32 conversion (see `x86.rs`). SSE2 lacks `round_pd`, so only
+/// AVX2 diverges from the scalar loop.
+#[inline]
+pub fn quantize_levels(coeffs: &[f64], step: f64, deadzone: f64, levels: &mut [i32]) {
+    quantize_levels_with(backend(), coeffs, step, deadzone, levels)
+}
+
+#[inline]
+pub fn quantize_levels_with(
+    bk: Backend,
+    coeffs: &[f64],
+    step: f64,
+    deadzone: f64,
+    levels: &mut [i32],
+) {
+    debug_assert_eq!(coeffs.len(), levels.len());
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::quantize_levels_avx2(coeffs, step, deadzone, levels) },
+        _ => scalar::quantize_levels(coeffs, step, deadzone, levels),
+    }
+}
+
+/// Reconstructs coefficient values from quantized levels. The i32→f64
+/// widening is exact and the multiply is the same IEEE operation in
+/// every backend, so the result is bit-identical by construction.
+#[inline]
+pub fn dequantize_coeffs(levels: &[i32], step: f64, coeffs: &mut [f64]) {
+    dequantize_coeffs_with(backend(), levels, step, coeffs)
+}
+
+#[inline]
+pub fn dequantize_coeffs_with(bk: Backend, levels: &[i32], step: f64, coeffs: &mut [f64]) {
+    debug_assert_eq!(levels.len(), coeffs.len());
+    match bk {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => unsafe { x86::dequantize_coeffs_avx2(levels, step, coeffs) },
+        _ => scalar::dequantize_coeffs(levels, step, coeffs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_always_available() {
+        let avail = available_backends();
+        assert!(avail.contains(&Backend::Scalar));
+        // Preference order is ascending.
+        let mut sorted = avail.clone();
+        sorted.sort();
+        assert_eq!(avail, sorted);
+    }
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in [Backend::Scalar, Backend::Sse2, Backend::Avx2] {
+            assert_eq!(from_u8(b as u8), b);
+            assert!(!b.name().is_empty());
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn sse2_is_baseline_on_x86_64() {
+        // SSE2 is architecturally guaranteed on x86_64.
+        assert!(available_backends().contains(&Backend::Sse2));
+    }
+}

@@ -1,0 +1,222 @@
+//! Portable scalar reference implementations of the pixel kernels.
+//!
+//! These are the semantics every SIMD backend must reproduce *bit for
+//! bit* — each function here is the exact loop the codec ran before the
+//! kernel layer existed (moved, not rewritten). Differential tests
+//! sweep every backend against these; the golden bitstream pins hash
+//! their outputs.
+
+/// Plain sum of absolute differences over two equal-length slices.
+pub(crate) fn sad_slice(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x as i32 - *y as i32).unsigned_abs() as u64)
+        .sum()
+}
+
+/// Row-granular thresholded SAD over two `rows x bw` buffers.
+///
+/// Accumulates one full row at a time, then checks the running sum
+/// against `threshold`, returning `(sad, pixels_examined)` the moment
+/// it crosses. The exit check sits at *row* granularity — never
+/// mid-row — so `pixels_examined` is always a multiple of `bw` and is
+/// identical for every backend regardless of lane width.
+pub(crate) fn sad_rows_thresholded(a: &[u8], b: &[u8], bw: usize, threshold: u64) -> (u64, u64) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sad = 0u64;
+    let mut examined = 0u64;
+    for (ra, rb) in a.chunks_exact(bw).zip(b.chunks_exact(bw)) {
+        let mut acc = 0u64;
+        for (x, y) in ra.iter().zip(rb) {
+            acc += (*x as i32 - *y as i32).unsigned_abs() as u64;
+        }
+        sad += acc;
+        examined += bw as u64;
+        if sad >= threshold {
+            return (sad, examined);
+        }
+    }
+    (sad, examined)
+}
+
+/// Sum of absolute transformed differences over 8×8 Hadamard blocks;
+/// partial edge blocks fall back to absolute differences. This is the
+/// exact walk `motion::satd` ran before the kernel layer.
+pub(crate) fn satd(cur: &[u8], pred: &[u8], bw: usize, bh: usize) -> u64 {
+    debug_assert_eq!(cur.len(), bw * bh);
+    debug_assert_eq!(pred.len(), bw * bh);
+    let mut total = 0u64;
+    let mut y = 0;
+    while y < bh {
+        let mut x = 0;
+        while x < bw {
+            if x + 8 <= bw && y + 8 <= bh {
+                let mut d = [0i32; 64];
+                for r in 0..8 {
+                    for c in 0..8 {
+                        let i = (y + r) * bw + x + c;
+                        d[r * 8 + c] = cur[i] as i32 - pred[i] as i32;
+                    }
+                }
+                total += hadamard8_abs_sum(&mut d) / 8;
+            } else {
+                satd_partial(cur, pred, bw, bh, x, y, &mut total);
+            }
+            x += 8;
+        }
+        y += 8;
+    }
+    total
+}
+
+/// Absolute-difference fallback for an edge cell of the SATD walk:
+/// covers `x..min(x+8, bw)` by `y..min(y+8, bh)`. Shared with the SIMD
+/// backends so edge handling is one piece of code, not three.
+pub(crate) fn satd_partial(
+    cur: &[u8],
+    pred: &[u8],
+    bw: usize,
+    bh: usize,
+    x: usize,
+    y: usize,
+    total: &mut u64,
+) {
+    let ew = bw.min(x + 8);
+    let eh = bh.min(y + 8);
+    for r in y..eh {
+        for c in x..ew {
+            let i = r * bw + c;
+            *total += (cur[i] as i32 - pred[i] as i32).unsigned_abs() as u64;
+        }
+    }
+}
+
+/// In-place 2-D 8×8 Hadamard transform; returns the sum of absolute
+/// transformed coefficients. (Moved verbatim from `motion.rs`.)
+pub(crate) fn hadamard8_abs_sum(d: &mut [i32; 64]) -> u64 {
+    fn pass8(v: &mut [i32; 8]) {
+        for stride in [1usize, 2, 4] {
+            let mut i = 0;
+            while i < 8 {
+                for j in 0..stride {
+                    let a = v[i + j];
+                    let b = v[i + j + stride];
+                    v[i + j] = a + b;
+                    v[i + j + stride] = a - b;
+                }
+                i += stride * 2;
+            }
+        }
+    }
+    let mut row = [0i32; 8];
+    for r in 0..8 {
+        row.copy_from_slice(&d[r * 8..(r + 1) * 8]);
+        pass8(&mut row);
+        d[r * 8..(r + 1) * 8].copy_from_slice(&row);
+    }
+    let mut col = [0i32; 8];
+    for c in 0..8 {
+        for r in 0..8 {
+            col[r] = d[r * 8 + c];
+        }
+        pass8(&mut col);
+        for r in 0..8 {
+            d[r * 8 + c] = col[r];
+        }
+    }
+    d.iter().map(|&v| v.unsigned_abs() as u64).sum()
+}
+
+/// Spatial residual `cur - pred` as i16.
+pub(crate) fn compute_residual(cur: &[u8], pred: &[u8], out: &mut [i16]) {
+    for ((c, p), o) in cur.iter().zip(pred).zip(out.iter_mut()) {
+        *o = *c as i16 - *p as i16;
+    }
+}
+
+/// Reconstruction add: `out[i] = clamp(pred[i] + resid[i], 0, 255)`.
+pub(crate) fn add_residual_clamp(pred: &[u8], resid: &[i16], out: &mut [u8]) {
+    for ((p, r), o) in pred.iter().zip(resid).zip(out.iter_mut()) {
+        *o = (*p as i32 + *r as i32).clamp(0, 255) as u8;
+    }
+}
+
+/// Compound-prediction average: `a[i] = ceil((a[i] + b[i]) / 2)`.
+pub(crate) fn avg_u8_inplace(a: &mut [u8], b: &[u8]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = (*x as u16 + *y as u16).div_ceil(2) as u8;
+    }
+}
+
+/// Temporal-filter blend: `acc[i] += src[i] * weight`. Every element
+/// is an independent f64 chain, so lane order cannot change results.
+pub(crate) fn blend_accumulate(acc: &mut [f64], src: &[u8], weight: f64) {
+    for (a, s) in acc.iter_mut().zip(src) {
+        *a += *s as f64 * weight;
+    }
+}
+
+/// One separable-transform pass with *strided* output:
+/// `out[q*n + j] = Σ_s m_rows[q*n + s] * input[j*n + s]`.
+///
+/// Per-output accumulation runs in ascending `s` order — the exact
+/// order the pre-kernel transform code used — so f64 results are
+/// bit-identical however outputs are grouped.
+pub(crate) fn tx_pass_strided(m_rows: &[f64], input: &[f64], n: usize, out: &mut [f64]) {
+    for j in 0..n {
+        let row = &input[j * n..(j + 1) * n];
+        for q in 0..n {
+            let mrow = &m_rows[q * n..(q + 1) * n];
+            let mut acc = 0.0;
+            for s in 0..n {
+                acc += mrow[s] * row[s];
+            }
+            out[q * n + j] = acc;
+        }
+    }
+}
+
+/// One separable-transform pass with *contiguous* output:
+/// `out[j*n + q] = Σ_s input[j*n + s] * m_rows[q*n + s]`.
+pub(crate) fn tx_pass_contig(m_rows: &[f64], input: &[f64], n: usize, out: &mut [f64]) {
+    for j in 0..n {
+        let row = &input[j * n..(j + 1) * n];
+        for q in 0..n {
+            let mrow = &m_rows[q * n..(q + 1) * n];
+            let mut acc = 0.0;
+            for s in 0..n {
+                acc += row[s] * mrow[s];
+            }
+            out[j * n + q] = acc;
+        }
+    }
+}
+
+/// Rounds each value half-away-from-zero (`f64::round`), clamps to the
+/// i16 range, and narrows — the inverse transform's final store, moved
+/// verbatim from `transform.rs`.
+pub(crate) fn round_clamp_i16(src: &[f64], out: &mut [i16]) {
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = v.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+    }
+}
+
+/// Dead-zone quantization of transform coefficients to integer
+/// levels — the per-coefficient loop moved verbatim from
+/// `quant::quantize` (the `Qp` is resolved to its `step` by the
+/// caller so the kernel stays type-free).
+pub(crate) fn quantize_levels(coeffs: &[f64], step: f64, deadzone: f64, levels: &mut [i32]) {
+    for (c, l) in coeffs.iter().zip(levels.iter_mut()) {
+        let mag = (c.abs() / step + deadzone).floor();
+        *l = (mag as i32).min(1 << 20) * c.signum() as i32;
+    }
+}
+
+/// Reconstruction of coefficient values from integer levels — the
+/// loop moved verbatim from `quant::dequantize`.
+pub(crate) fn dequantize_coeffs(levels: &[i32], step: f64, coeffs: &mut [f64]) {
+    for (l, c) in levels.iter().zip(coeffs.iter_mut()) {
+        *c = *l as f64 * step;
+    }
+}

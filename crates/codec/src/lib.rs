@@ -18,6 +18,7 @@ pub mod deblock;
 pub mod entropy;
 pub mod frame_coder;
 pub mod intra;
+pub mod kernels;
 pub mod models;
 pub mod motion;
 pub mod quant;

@@ -7,6 +7,7 @@
 //! store (§3.2); we bound precision at half-pel and meter every SAD so
 //! the device timing models can charge for the search work.
 
+use crate::kernels;
 use crate::stats::CodingStats;
 use crate::types::MotionVector;
 use vcu_media::Plane;
@@ -38,7 +39,7 @@ pub fn mc_block(
     let by = y as isize + (mv.y as isize).div_euclid(2);
     let fx = (mv.x as isize).rem_euclid(2) as u8;
     let fy = (mv.y as isize).rem_euclid(2) as u8;
-    reference.copy_block_hpel(bx, by, fx, fy, bw, bh, out);
+    kernels::plane_copy_block_hpel(reference, bx, by, fx, fy, bw, bh, out);
 }
 
 /// Search configuration.
@@ -170,7 +171,8 @@ pub fn search_scratch(
     let eval_full = |mx: i16, my: i16, threshold: u64, stats: &mut CodingStats| -> u64 {
         stats.sad_pixels += (bw * bh) as u64;
         stats.ref_bytes_read += (bw * bh) as u64;
-        let (sad, examined) = reference.sad_block_thresholded(
+        let (sad, examined) = kernels::plane_sad_block_thresholded(
+            reference,
             x as isize + mx as isize,
             y as isize + my as isize,
             bw,
@@ -264,19 +266,7 @@ pub fn search_scratch(
                 mc_block(reference, x, y, cand, bw, bh, buf);
                 stats.sad_pixels += (bw * bh) as u64;
                 stats.ref_bytes_read += (bw * bh * 2) as u64; // subpel taps
-                let mut s = 0u64;
-                let mut examined = 0u64;
-                for (brow, crow) in buf.chunks_exact(bw).zip(cur.chunks_exact(bw)) {
-                    let mut acc = 0u64;
-                    for (a, b) in brow.iter().zip(crow) {
-                        acc += (*a as i32 - *b as i32).unsigned_abs() as u64;
-                    }
-                    s += acc;
-                    examined += bw as u64;
-                    if s >= best_sad {
-                        break;
-                    }
-                }
+                let (s, examined) = kernels::sad_rows_thresholded(buf, cur, bw, best_sad);
                 stats.sad_pixels_examined += examined;
                 if s < best_sad {
                     best_sad = s;
@@ -440,71 +430,7 @@ mod tests {
 pub fn satd(cur: &[u8], pred: &[u8], bw: usize, bh: usize) -> u64 {
     debug_assert_eq!(cur.len(), bw * bh);
     debug_assert_eq!(pred.len(), bw * bh);
-    let mut total = 0u64;
-    let mut y = 0;
-    while y < bh {
-        let mut x = 0;
-        while x < bw {
-            if x + 8 <= bw && y + 8 <= bh {
-                let mut d = [0i32; 64];
-                for r in 0..8 {
-                    for c in 0..8 {
-                        let i = (y + r) * bw + x + c;
-                        d[r * 8 + c] = cur[i] as i32 - pred[i] as i32;
-                    }
-                }
-                total += hadamard8_abs_sum(&mut d) / 8;
-            } else {
-                let ew = bw.min(x + 8);
-                let eh = bh.min(y + 8);
-                for r in y..eh {
-                    for c in x..ew {
-                        let i = r * bw + c;
-                        total += (cur[i] as i32 - pred[i] as i32).unsigned_abs() as u64;
-                    }
-                }
-            }
-            x += 8;
-        }
-        y += 8;
-    }
-    total
-}
-
-/// In-place 2-D 8×8 Hadamard transform; returns the sum of absolute
-/// transformed coefficients.
-fn hadamard8_abs_sum(d: &mut [i32; 64]) -> u64 {
-    fn pass8(v: &mut [i32; 8]) {
-        for stride in [1usize, 2, 4] {
-            let mut i = 0;
-            while i < 8 {
-                for j in 0..stride {
-                    let a = v[i + j];
-                    let b = v[i + j + stride];
-                    v[i + j] = a + b;
-                    v[i + j + stride] = a - b;
-                }
-                i += stride * 2;
-            }
-        }
-    }
-    let mut row = [0i32; 8];
-    for r in 0..8 {
-        row.copy_from_slice(&d[r * 8..(r + 1) * 8]);
-        pass8(&mut row);
-        d[r * 8..(r + 1) * 8].copy_from_slice(&row);
-    }
-    let mut col = [0i32; 8];
-    for c in 0..8 {
-        for r in 0..8 {
-            col[r] = d[r * 8 + c];
-        }
-        pass8(&mut col);
-        for r in 0..8 {
-            d[r * 8 + c] = col[r];
-        }
-    }
-    d.iter().map(|&v| v.unsigned_abs() as u64).sum()
+    kernels::satd(cur, pred, bw, bh)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! as a smarter level-choice pass available only to the software
 //! toolset.
 
+use crate::kernels;
 use crate::types::Qp;
 
 /// Quantizes `coeffs` into integer levels with rounding bias
@@ -19,11 +20,7 @@ use crate::types::Qp;
 /// Panics if output slice length differs from input.
 pub fn quantize(coeffs: &[f64], qp: Qp, deadzone: f64, levels: &mut [i32]) {
     assert_eq!(coeffs.len(), levels.len(), "level buffer size mismatch");
-    let step = qp.step();
-    for (c, l) in coeffs.iter().zip(levels.iter_mut()) {
-        let mag = (c.abs() / step + deadzone).floor();
-        *l = (mag as i32).min(1 << 20) * c.signum() as i32;
-    }
+    kernels::quantize_levels(coeffs, qp.step(), deadzone, levels);
 }
 
 /// Reconstructs coefficient values from levels.
@@ -33,10 +30,7 @@ pub fn quantize(coeffs: &[f64], qp: Qp, deadzone: f64, levels: &mut [i32]) {
 /// Panics if output slice length differs from input.
 pub fn dequantize(levels: &[i32], qp: Qp, coeffs: &mut [f64]) {
     assert_eq!(levels.len(), coeffs.len(), "coeff buffer size mismatch");
-    let step = qp.step();
-    for (l, c) in levels.iter().zip(coeffs.iter_mut()) {
-        *c = *l as f64 * step;
-    }
+    kernels::dequantize_coeffs(levels, qp.step(), coeffs);
 }
 
 /// Trellis-like level optimization (software toolset only): for each

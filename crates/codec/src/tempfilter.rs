@@ -103,9 +103,11 @@ pub fn temporal_filter_with_stats(
                 let mad = r.sad as f64 / (bw * bh) as f64;
                 let weight = (1.0 - mad / 12.0).clamp(0.0, 1.0);
                 if weight > 0.0 {
-                    for i in 0..bw * bh {
-                        acc[i] += aligned[i] as f64 * weight;
-                    }
+                    crate::kernels::blend_accumulate(
+                        &mut acc[..bw * bh],
+                        &aligned[..bw * bh],
+                        weight,
+                    );
                     weight_total += weight;
                 }
                 weight_sum += weight;

@@ -8,12 +8,13 @@
 //! two (the property the paper's "golden transcode" fault screening
 //! relies on: "relying on the core's deterministic behavior", §4.4).
 
+use crate::kernels;
 use std::sync::OnceLock;
 
 /// Transform sizes supported by the codec.
 pub const TX_SIZES: [usize; 4] = [4, 8, 16, 32];
 
-fn basis(n: usize) -> &'static [f64] {
+pub(crate) fn basis(n: usize) -> &'static [f64] {
     static BASES: OnceLock<[Vec<f64>; 4]> = OnceLock::new();
     let all = BASES.get_or_init(|| {
         let make = |n: usize| {
@@ -44,7 +45,7 @@ fn basis(n: usize) -> &'static [f64] {
 
 /// Transpose of [`basis`], cached per size: `basis_t(n)[i*n+k] ==
 /// basis(n)[k*n+i]`. Lets both inverse passes walk contiguous rows.
-fn basis_t(n: usize) -> &'static [f64] {
+pub(crate) fn basis_t(n: usize) -> &'static [f64] {
     static BASES_T: OnceLock<[Vec<f64>; 4]> = OnceLock::new();
     let all = BASES_T.get_or_init(|| {
         let make = |n: usize| {
@@ -93,14 +94,18 @@ pub fn forward(residual: &[i16], n: usize, out: &mut [f64]) {
     forward_with(residual, n, out, &mut TxScratch::new());
 }
 
-/// [`forward`] with caller-provided scratch. Both passes run as
-/// contiguous dot products over a transposed intermediate; each
-/// output coefficient accumulates in the same index order as the
-/// naive formulation, so results are bit-identical.
+/// [`forward`] with caller-provided scratch. Both passes run through
+/// the dispatched [`kernels::tx_pass_strided`] over a transposed
+/// intermediate; each output coefficient accumulates in the same index
+/// order as the naive formulation in every backend, so results are
+/// bit-identical regardless of `VCU_SIMD`.
 pub fn forward_with(residual: &[i16], n: usize, out: &mut [f64], scratch: &mut TxScratch) {
     assert_eq!(residual.len(), n * n, "residual size mismatch");
     assert_eq!(out.len(), n * n, "output size mismatch");
+    // `basis_t` is the transpose of `basis`, so it doubles as the
+    // column-major view SIMD backends load from.
     let b = basis(n);
+    let bt = basis_t(n);
     let TxScratch { t0, t1 } = scratch;
     // Widen the residual once (n^2 conversions instead of n^3).
     t1.clear();
@@ -109,29 +114,9 @@ pub fn forward_with(residual: &[i16], n: usize, out: &mut [f64], scratch: &mut T
     // tt = (B * X)^T: tt[k*n+y] = sum_i b[k*n+i] * x[y*n+i].
     t0.clear();
     t0.resize(n * n, 0.0);
-    for y in 0..n {
-        let row = &rf[y * n..(y + 1) * n];
-        for k in 0..n {
-            let brow = &b[k * n..(k + 1) * n];
-            let mut acc = 0.0;
-            for i in 0..n {
-                acc += brow[i] * row[i];
-            }
-            t0[k * n + y] = acc;
-        }
-    }
+    kernels::tx_pass_strided(b, bt, rf, n, t0);
     // out = B * tt^T: out[k*n+x] = sum_i b[k*n+i] * tt[x*n+i].
-    for k in 0..n {
-        let brow = &b[k * n..(k + 1) * n];
-        for x in 0..n {
-            let trow = &t0[x * n..(x + 1) * n];
-            let mut acc = 0.0;
-            for i in 0..n {
-                acc += brow[i] * trow[i];
-            }
-            out[k * n + x] = acc;
-        }
-    }
+    kernels::tx_pass_strided(b, bt, t0, n, out);
 }
 
 /// Inverse 2-D DCT producing an `n x n` residual block, rounded to i16.
@@ -150,6 +135,8 @@ pub fn inverse(coeffs: &[f64], n: usize, out: &mut [i16]) {
 pub fn inverse_with(coeffs: &[f64], n: usize, out: &mut [i16], scratch: &mut TxScratch) {
     assert_eq!(coeffs.len(), n * n, "coeff size mismatch");
     assert_eq!(out.len(), n * n, "output size mismatch");
+    // Both passes multiply by B^T, whose column-major view is `basis`.
+    let b = basis(n);
     let bt = basis_t(n);
     let TxScratch { t0, t1 } = scratch;
     // ct = C^T so the column pass reads rows.
@@ -163,29 +150,12 @@ pub fn inverse_with(coeffs: &[f64], n: usize, out: &mut [i16], scratch: &mut TxS
     // tmp = B^T * C: tmp[y*n+x] = sum_k bt[y*n+k] * ct[x*n+k].
     t0.clear();
     t0.resize(n * n, 0.0);
-    for y in 0..n {
-        let btrow = &bt[y * n..(y + 1) * n];
-        for x in 0..n {
-            let crow = &t1[x * n..(x + 1) * n];
-            let mut acc = 0.0;
-            for k in 0..n {
-                acc += btrow[k] * crow[k];
-            }
-            t0[y * n + x] = acc;
-        }
-    }
-    // out = tmp * B: out[y*n+x] = sum_k tmp[y*n+k] * bt[x*n+k].
-    for y in 0..n {
-        let trow = &t0[y * n..(y + 1) * n];
-        for x in 0..n {
-            let btrow = &bt[x * n..(x + 1) * n];
-            let mut acc = 0.0;
-            for k in 0..n {
-                acc += trow[k] * btrow[k];
-            }
-            out[y * n + x] = acc.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
-        }
-    }
+    kernels::tx_pass_strided(bt, b, t1, n, t0);
+    // out = tmp * B: out[y*n+x] = sum_k tmp[y*n+k] * bt[x*n+k],
+    // computed in f64 (reusing t1), then rounded half-away-from-zero
+    // and narrowed to i16 (exact in every backend).
+    kernels::tx_pass_contig(bt, b, t0, n, t1);
+    kernels::round_clamp_i16(t1, out);
 }
 
 /// Zigzag scan order for an `n x n` block: coefficients ordered by

@@ -164,10 +164,21 @@ impl Plane {
                 dst[by * bw..(by + 1) * bw].copy_from_slice(src);
             }
         } else {
+            // Edge-clamped fallback: each output row reads one clamped
+            // source row, which splits into a replicated left border, a
+            // contiguous interior run, and a replicated right border.
+            let left = (-x).clamp(0, bw as isize) as usize;
+            let right_start = (self.width as isize - x).clamp(left as isize, bw as isize) as usize;
             for by in 0..bh {
-                for bx in 0..bw {
-                    dst[by * bw + bx] = self.get_clamped(x + bx as isize, y + by as isize);
+                let cy = (y + by as isize).clamp(0, self.height as isize - 1) as usize;
+                let row = &self.data[cy * self.width..(cy + 1) * self.width];
+                let out = &mut dst[by * bw..(by + 1) * bw];
+                out[..left].fill(row[0]);
+                if right_start > left {
+                    let sx = (x + left as isize) as usize;
+                    out[left..right_start].copy_from_slice(&row[sx..sx + (right_start - left)]);
                 }
+                out[right_start..].fill(row[self.width - 1]);
             }
         }
     }

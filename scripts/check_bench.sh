@@ -19,6 +19,12 @@
 # _t1 row's throughput — flat scaling on a multi-core host means the
 # parallel encode path is broken. On smaller hosts the gate reports
 # itself disarmed instead of pretending flat rows are fine.
+#
+# Kernel gate: each committed codec/kern_*_{sse2,avx2} row must beat
+# its _scalar sibling by KERNEL_MIN_SPEEDUP (a SIMD backend slower
+# than the scalar reference means the dispatch layer is shipping
+# pessimization). Hosts without the instruction set skip the matching
+# rows with the reason printed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,9 +33,19 @@ export CARGO_NET_OFFLINE=true
 REGRESSION_FACTOR="${VCU_BENCH_GATE_FACTOR:-3.0}"
 MIN_MEDIAN_NS=100000 # 100 µs
 MIN_SCALING="${VCU_BENCH_MIN_SCALING:-2.0}"
+KERNEL_MIN_SPEEDUP="${VCU_KERNEL_MIN_SPEEDUP:-1.5}"
 COMMITTED=results/bench_codec.json
 FRESH="${TMPDIR:-/tmp}/bench_codec_smoke.json"
 HOST_CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+# SIMD features of this host, for the per-backend kernel rows: a host
+# without AVX2 cannot emit codec/kern_*_avx2 rows, so those committed
+# rows must be exempt from the missing-row check (with the reason
+# printed) instead of failing the build.
+HOST_SSE2=0
+HOST_AVX2=0
+if grep -qw sse2 /proc/cpuinfo 2>/dev/null; then HOST_SSE2=1; fi
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then HOST_AVX2=1; fi
 
 if [[ ! -f "$COMMITTED" ]]; then
     echo "check_bench: no committed $COMMITTED, nothing to gate" >&2
@@ -46,7 +62,9 @@ fi
 # The Harness writes one record per line with a fixed key order, so a
 # line-oriented awk join is reliable (no jq in the image).
 awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" \
-    -v min_scaling="$MIN_SCALING" -v host_cores="$HOST_CORES" '
+    -v min_scaling="$MIN_SCALING" -v host_cores="$HOST_CORES" \
+    -v host_sse2="$HOST_SSE2" -v host_avx2="$HOST_AVX2" \
+    -v min_kernel_speedup="$KERNEL_MIN_SPEEDUP" '
     function field(line, key,    s) {
         s = line
         if (!match(s, "\"" key "\": [-0-9.e+]+")) return ""
@@ -77,6 +95,19 @@ awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" \
         for (i = 1; i <= n_committed; i++) {
             name = order[i]
             if (!(name in fresh_seen)) {
+                # Per-backend kernel rows only exist where the CPU has
+                # the instruction set; a committed row from a bigger
+                # capture host is a visible skip here, not a failure.
+                if (name ~ /^codec\/kern_.*_sse2$/ && !host_sse2) {
+                    printf "    %-40s SKIPPED: host has no sse2, row cannot exist here\n", name
+                    skipped++
+                    continue
+                }
+                if (name ~ /^codec\/kern_.*_avx2$/ && !host_avx2) {
+                    printf "    %-40s SKIPPED: host has no avx2, row cannot exist here\n", name
+                    skipped++
+                    continue
+                }
                 printf "check_bench: committed row %s missing from fresh run (bench renamed or dropped?)\n", \
                     name > "/dev/stderr"
                 bad = 1
@@ -138,6 +169,41 @@ awk -v factor="$REGRESSION_FACTOR" -v min_median="$MIN_MEDIAN_NS" \
             printf "check_bench: *** SCALING GATE DISARMED *** (committed host_cores=%d, this host=%d; " \
                    "both must be >= 4 — flat multi-core scaling is NOT being checked)\n", \
                 committed_cores + 0, host_cores + 0
+        }
+
+        # Kernel gate: each committed per-backend kernel row
+        # (codec/kern_<k>_{sse2,avx2}) must beat its _scalar sibling by
+        # min_kernel_speedup. Committed rows come from full calibrated
+        # runs, so the ratios are stable where the smoke rows above are
+        # not (microsecond kernels at 1 iteration are pure noise). The
+        # rows only exist when the capture host had the instruction
+        # set; a committed artifact without them reports the gate
+        # disarmed rather than pretending vectorization is checked.
+        kern_pairs = 0
+        for (i = 1; i <= n_committed; i++) {
+            name = order[i]
+            if (name !~ /^codec\/kern_.*_(sse2|avx2)$/) continue
+            scalar_name = name
+            sub(/_(sse2|avx2)$/, "_scalar", scalar_name)
+            if (committed_tp[scalar_name] == "" || committed_tp[name] == "") {
+                printf "    %-40s SKIPPED: no committed throughput pair with %s\n", name, scalar_name
+                continue
+            }
+            speedup = committed_tp[name] / committed_tp[scalar_name]
+            kern_pairs++
+            printf "    %-40s %.2fx over %s (floor %.1fx)\n", name, speedup, scalar_name, min_kernel_speedup
+            if (speedup < min_kernel_speedup) {
+                printf "check_bench: %s is only %.2fx its scalar reference (< %.1fx floor)\n", \
+                    name, speedup, min_kernel_speedup > "/dev/stderr"
+                bad = 1
+            }
+        }
+        if (kern_pairs == 0) {
+            print "check_bench: *** KERNEL GATE DISARMED *** (no committed codec/kern_*_{sse2,avx2} rows; " \
+                  "capture host had no SIMD — vectorized speedups are NOT being checked)"
+        } else {
+            printf "check_bench: kernel gate %d SIMD rows >= %.1fx their scalar siblings\n", \
+                kern_pairs, min_kernel_speedup
         }
         exit bad
     }

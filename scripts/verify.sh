@@ -111,6 +111,16 @@ stage_determinism() {
     done
 }
 
+# The pixel-kernel dispatch layer must be byte-invisible: with the
+# dispatcher pinned to the scalar reference (VCU_SIMD=off), the golden
+# bitstream hashes and the scalar<->SIMD differential suite must pass
+# exactly as they do under the best backend (the plain test stage).
+stage_simd_off() {
+    echo "--> VCU_SIMD=off"
+    VCU_SIMD=off cargo test -q -p vcu-system --offline --test golden --test simd \
+        | tail -n 4
+}
+
 run_stage fmt stage_fmt
 run_stage build stage_build
 run_stage test stage_test
@@ -121,9 +131,10 @@ run_stage serve_smoke stage_serve_smoke
 run_stage region_smoke stage_region_smoke
 run_stage bench_gate stage_bench_gate
 run_stage determinism stage_determinism
+run_stage simd_off stage_simd_off
 
 if [[ "$STAGES_RUN" -eq 0 ]]; then
-    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke serve_smoke region_smoke bench_gate determinism)" >&2
+    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke serve_smoke region_smoke bench_gate determinism simd_off)" >&2
     exit 1
 fi
 echo "tier-1 verify: OK ($STAGES_RUN stages)"

@@ -95,21 +95,42 @@ pub struct PipelineSim {
     pub fifo_depth: usize,
     /// Variability amplitude: stage time = mean × (1 ± amplitude).
     pub variability: f64,
+    /// DMA service-time multiplier (≥ 1): how much slower DRAM
+    /// transfers run than the calibrated budget. 1.0 is the shipped
+    /// design, where prefetch hides DMA entirely; design-space
+    /// candidates with less bandwidth than the §3.3.1 envelope push
+    /// this up until DMA intermittently becomes the bottleneck.
+    pub dma_pressure: f64,
 }
 
 impl PipelineSim {
     /// A simulator with the production FIFO depth.
     pub fn new(fifo_depth: usize, variability: f64) -> Self {
+        Self::with_dma_pressure(fifo_depth, variability, 1.0)
+    }
+
+    /// A simulator whose DMA stage runs `dma_pressure`× slower than
+    /// the calibrated budget (bandwidth-starved design candidates).
+    pub fn with_dma_pressure(fifo_depth: usize, variability: f64, dma_pressure: f64) -> Self {
         assert!((0.0..1.0).contains(&variability), "variability in [0,1)");
+        assert!(dma_pressure >= 1.0, "dma_pressure is a slowdown (≥ 1)");
         PipelineSim {
             fifo_depth,
             variability,
+            dma_pressure,
         }
     }
 
     /// Deterministic per-block service time for `stage` on block `i`.
     fn service_cycles(&self, stage: Stage, block: u64) -> f64 {
-        let mean = stage.mean_cycles() as f64;
+        // The wobble hash keys on the *calibrated* mean so the same
+        // block sees the same content variability at any pressure.
+        let pressure = if stage == Stage::Dma {
+            self.dma_pressure
+        } else {
+            1.0
+        };
+        let mean = stage.mean_cycles() as f64 * pressure;
         // Deterministic pseudo-random wobble per (stage, block).
         let h = block
             .wrapping_mul(0x9E3779B97F4A7C15)

@@ -13,7 +13,13 @@
 //!   whole-chip capacity and the §3.3.3 millicore resource mapping
 //!   ([`vcu`]), firmware queue dispatch ([`firmware`]), and the
 //!   Table-1 contender systems ([`devices`]).
+//!
+//! The timing layer is parameterized by a [`DesignPoint`] (encoder
+//! cores × decoder cores × DRAM bandwidth × reference-store SRAM,
+//! plus a cost/area/power model), so `vcu-dse` can sweep the design
+//! space while the shipped configuration stays bit-identical.
 pub mod calib;
+pub mod design;
 pub mod devices;
 pub mod dram;
 pub mod encoder_core;
@@ -23,6 +29,7 @@ pub mod job;
 pub mod refstore;
 pub mod vcu;
 
+pub use design::DesignPoint;
 pub use devices::System;
 pub use job::{OutputVariant, TranscodeJob};
 pub use vcu::{ResourceDemand, VcuModel, WorkloadShape};

@@ -6,8 +6,8 @@
 //! cluster's bin-packing scheduler packs against.
 
 use crate::calib::{self, millicores};
+use crate::design::DesignPoint;
 use crate::dram::{job_footprint_mib, DramModel};
-use crate::encoder_core::core_rate_mpix_s;
 use crate::job::TranscodeJob;
 use vcu_codec::Profile;
 
@@ -50,6 +50,10 @@ pub struct VcuModel {
     /// capacity when their stream stalls (§3.2 "Control and Stateless
     /// Operation").
     pub stateless: bool,
+    /// Silicon configuration. Defaults to [`DesignPoint::shipped`],
+    /// which reproduces the production model bit-for-bit; the DSE
+    /// driver sweeps candidates here.
+    pub design: DesignPoint,
 }
 
 impl Default for VcuModel {
@@ -57,6 +61,7 @@ impl Default for VcuModel {
         VcuModel {
             refcomp: true,
             stateless: true,
+            design: DesignPoint::shipped(),
         }
     }
 }
@@ -67,22 +72,38 @@ impl VcuModel {
         Self::default()
     }
 
-    /// Peak silicon encode rate (one-pass) in Mpix/s.
-    pub fn peak_encode_mpix_s(&self, profile: Profile) -> f64 {
-        calib::ENCODER_CORES_PER_VCU as f64 * core_rate_mpix_s(profile)
+    /// A production-featured VCU built on a candidate design point.
+    pub fn for_design(design: DesignPoint) -> Self {
+        VcuModel {
+            design,
+            ..Self::default()
+        }
     }
 
-    /// Hardware decode capacity in Mpix/s (input pixels).
+    /// Peak silicon encode rate (one-pass) in Mpix/s.
+    pub fn peak_encode_mpix_s(&self, profile: Profile) -> f64 {
+        self.design.encoder_cores as f64 * self.design.core_rate_mpix_s(profile)
+    }
+
+    /// Hardware decode capacity in Mpix/s (input pixels). Decoder
+    /// cores share the DRAM bus, so a bandwidth-starved design stalls
+    /// them by the same envelope factor as the encoders.
     pub fn decode_capacity_mpix_s(&self) -> f64 {
-        calib::DECODER_CORES_PER_VCU as f64 * calib::DECODER_CORE_MPIX_S
+        self.design.decoder_cores as f64
+            * calib::DECODER_CORE_MPIX_S
+            * self.design.mem_stall_factor(self.refcomp)
     }
 
     /// Sustained system-level encode rate in Mpix/s of output for a
     /// workload shape — includes the pass structure, the loaded-system
-    /// derate, and the stateless-dispatch factor.
+    /// derate, the stateless-dispatch factor, and (off the shipped
+    /// design point) the chip-level memory stall.
     pub fn sustained_mpix_s(&self, profile: Profile, shape: WorkloadShape) -> f64 {
         let stateless_factor = if self.stateless { 1.0 } else { 0.72 };
-        self.peak_encode_mpix_s(profile) * calib::SYSTEM_DERATE * stateless_factor
+        self.peak_encode_mpix_s(profile)
+            * calib::SYSTEM_DERATE
+            * stateless_factor
+            * self.design.mem_stall_factor(self.refcomp)
             / shape.passes_per_output_pixel()
     }
 
@@ -112,7 +133,7 @@ impl VcuModel {
 
     /// A DRAM model matching this VCU's configuration.
     pub fn dram(&self) -> DramModel {
-        DramModel::new(self.refcomp)
+        DramModel::with_bandwidth(self.refcomp, self.design.dram_raw_gib_s)
     }
 }
 

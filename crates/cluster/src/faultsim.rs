@@ -166,10 +166,26 @@ fn cell_faults(
     mttr_s: f64,
     rng: &mut Rng,
 ) -> Vec<FaultInjection> {
+    fault_schedule(vcus, arrival_span_s(jobs_per_vcu), fault_rate, mttr_s, rng)
+}
+
+/// The campaign's representative fault mix over an explicit time span:
+/// `fault_rate` of the fleet (seeded shuffle) faults at a seeded time
+/// in the first half of `span_s`, cycling through the six
+/// [`FaultKind`]s, with a repair `mttr_s` later when finite. Public so
+/// other harnesses (the DSE driver) can stress candidates under the
+/// exact fault mix the PR-5 campaign calibrated.
+pub fn fault_schedule(
+    vcus: usize,
+    span_s: f64,
+    fault_rate: f64,
+    mttr_s: f64,
+    rng: &mut Rng,
+) -> Vec<FaultInjection> {
     let n_faulted = ((vcus as f64 * fault_rate).round() as usize).min(vcus);
     let mut workers: Vec<usize> = (0..vcus).collect();
     rng.shuffle(&mut workers);
-    let span = arrival_span_s(jobs_per_vcu);
+    let span = span_s;
     let mut faults = Vec::with_capacity(n_faulted * 2);
     for (k, &w) in workers.iter().take(n_faulted).enumerate() {
         let time_s = rng.gen_range(10.0..(span * 0.5).max(11.0));

@@ -22,8 +22,8 @@ pub mod tco;
 
 pub use des::{EventQueue, ShardedEventQueue};
 pub use faultsim::{
-    cell_cluster_config, correlated_domain_faults, render_json, run_campaign, run_cell,
-    upgrade_wave_faults, CampaignCell, CampaignConfig,
+    cell_cluster_config, correlated_domain_faults, fault_schedule, render_json, run_campaign,
+    run_cell, upgrade_wave_faults, CampaignCell, CampaignConfig,
 };
 pub use pools::{DegradePolicy, PoolId, PoolManager, UseCase};
 pub use scheduler::{PlacementMode, Scheduler, SchedulerKind};
@@ -31,4 +31,4 @@ pub use sim::{
     AttemptMode, ClusterConfig, ClusterReport, ClusterSim, FaultInjection, FaultKind, HealthPolicy,
     JobResolution, JobSpec, Priority, RetryPolicy, Sample, WatchdogPolicy, WorkerMgmtState,
 };
-pub use tco::{perf_per_tco, perf_per_tco_normalized, system_tco, Tco};
+pub use tco::{perf_per_tco, perf_per_tco_normalized, system_tco, vcu_host_tco_for, Tco};

@@ -129,6 +129,11 @@ pub struct ClusterConfig {
     /// bounded subset of this many VCUs (0 disables), so one failing
     /// VCU can only ever touch a few videos.
     pub consistent_hash_window: usize,
+    /// Capacity model of every worker's VCU. Defaults to the shipped
+    /// silicon; the DSE driver substitutes candidate design points,
+    /// which changes how many concurrent jobs a worker fits (the
+    /// §3.3.3 millicore demands scale with the design's capacity).
+    pub model: VcuModel,
     /// RNG seed.
     pub seed: u64,
 }
@@ -151,6 +156,7 @@ impl Default for ClusterConfig {
             sample_period_s: 60.0,
             service_time_factor: 1.0,
             consistent_hash_window: 0,
+            model: VcuModel::new(),
             seed: 1,
         }
     }
@@ -622,9 +628,10 @@ impl ClusterSim {
         let golden = checksum(&golden_bytes);
         let n_jobs = jobs.len();
         let reviving_events = n_jobs + faults.len();
+        let model = cfg.model.clone();
         ClusterSim {
             cfg,
-            model: VcuModel::new(),
+            model,
             queue,
             scheduler,
             vcus,

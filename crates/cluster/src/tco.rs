@@ -8,7 +8,7 @@
 //! so the *ratios* between systems land near Table 1's implied values
 //! (CPU 1.0×, 4×T4 ≈ 2.3×, 8×VCU ≈ 1.9×, 20×VCU ≈ 3.0×).
 
-use vcu_chip::{System, WorkloadShape};
+use vcu_chip::{DesignPoint, System, WorkloadShape};
 use vcu_codec::Profile;
 
 /// Cost breakdown in dollars.
@@ -63,6 +63,25 @@ pub fn system_tco_with(system: System, opex_per_watt_3yr: f64) -> Tco {
     };
     Tco {
         capex,
+        opex_3yr: power * opex_per_watt_3yr,
+    }
+}
+
+/// TCO of a VCU host whose cards carry an arbitrary chip design
+/// (the DSE driver's pricing hook): same structure as
+/// [`system_tco_with`] for `System::VcuHost`, but card capex and power
+/// come from the candidate's cost/area/power model instead of the
+/// shipped constants. With [`DesignPoint::shipped`] this reproduces
+/// `system_tco(System::VcuHost { vcus })` exactly.
+pub fn vcu_host_tco_for(design: &DesignPoint, vcus: usize, opex_per_watt_3yr: f64) -> Tco {
+    assert!(
+        opex_per_watt_3yr >= 0.0,
+        "power price must be non-negative, got {opex_per_watt_3yr}"
+    );
+    let cards = (vcus as f64 / vcu_chip::calib::VCUS_PER_CARD as f64).ceil();
+    let power = vcu_chip::calib::VCU_HOST_BASE_POWER_W + cards * design.card_power_w();
+    Tco {
+        capex: SERVER_CAPEX + cards * design.card_capex_usd(),
         opex_3yr: power * opex_per_watt_3yr,
     }
 }
@@ -178,6 +197,28 @@ mod tests {
                 one.opex_3yr * k
             );
         }
+    }
+
+    #[test]
+    fn shipped_design_prices_like_the_constant_card() {
+        // The design-parameterized host TCO must agree with the
+        // Table-1 pricing exactly at the shipped point — this is the
+        // calibration that lets the DSE frontier anchor on the same
+        // dollars the rest of the repo reports.
+        let shipped = DesignPoint::shipped();
+        for vcus in [1, 8, 19, 20, 40] {
+            let by_design = vcu_host_tco_for(&shipped, vcus, OPEX_PER_WATT_3YR);
+            let by_constant = system_tco(System::VcuHost { vcus });
+            assert_eq!(by_design, by_constant, "vcus = {vcus}");
+        }
+        // A beefier design strictly raises both cost terms.
+        let big = vcu_host_tco_for(
+            &DesignPoint::new(14, 4, 45.0, 2 * 147_456),
+            20,
+            OPEX_PER_WATT_3YR,
+        );
+        let base = vcu_host_tco_for(&shipped, 20, OPEX_PER_WATT_3YR);
+        assert!(big.capex > base.capex && big.opex_3yr > base.opex_3yr);
     }
 
     #[test]

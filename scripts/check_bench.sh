@@ -393,3 +393,110 @@ awk -v min_vcus="$MIN_VCUS" '
         exit bad
     }
 ' "$REGION_COMMITTED"
+
+# DSE-frontier gate: validate the committed results/dse_frontier.json
+# artifact. The full sweep is minutes-long so no fresh run happens here
+# (bench_dse's smoke gates cover the code path); this checks the
+# committed artifact itself — every candidate carries the full key set,
+# the frontier is recomputed from the four recorded objectives (steady
+# perf/VCU, fault goodput, perf/TCO, latency headroom 1/(1+p99)) and
+# must match the on_frontier flags exactly, the shipped anchor appears
+# exactly once, sits on the frontier, and no candidate dominates it
+# beyond VCU_DSE_ANCHOR_TOL. Candidates are never skipped here — a row
+# that cannot be scored is a failure, and the zero-skip count is
+# printed so that stays visible.
+DSE_ANCHOR_TOL="${VCU_DSE_ANCHOR_TOL:-0.02}"
+DSE_COMMITTED=results/dse_frontier.json
+
+if [[ ! -f "$DSE_COMMITTED" ]]; then
+    echo "check_bench: no committed $DSE_COMMITTED, nothing to gate" >&2
+    exit 1
+fi
+
+echo "--> dse frontier artifact"
+awk -v tol="$DSE_ANCHOR_TOL" '
+    function field(line, key,    s) {
+        s = line
+        if (!match(s, "\"" key "\": [-0-9.e+]+")) return ""
+        s = substr(s, RSTART, RLENGTH)
+        sub("\"" key "\": ", "", s)
+        return s
+    }
+    # True if candidate a Pareto-dominates b over the four maximize
+    # objectives (>= on all, > on at least one) — the same textbook
+    # definition vcu-dse implements, re-derived independently here.
+    function dominates(a, b,    k, strictly) {
+        strictly = 0
+        for (k = 1; k <= 4; k++) {
+            if (obj[a, k] < obj[b, k]) return 0
+            if (obj[a, k] > obj[b, k]) strictly = 1
+        }
+        return strictly
+    }
+    /"encoder_cores":/ {
+        n++
+        split("encoder_cores decoder_cores dram_gib_s refstore_kpix area_mm2 " \
+              "card_power_w card_capex_usd fleet_tco_usd traffic_factor " \
+              "bandwidth_pressure util_steady goodput_steady goodput_fault " \
+              "p99_wait_s perf_mpix_s_per_vcu perf_per_tco anchor on_frontier", keys, " ")
+        for (k in keys) {
+            if (field($0, keys[k]) == "") {
+                printf "check_bench: dse candidate %d missing key %s\n", n, keys[k] > "/dev/stderr"
+                bad = 1
+            }
+        }
+        label[n] = sprintf("%de%dd%sG%sK", field($0, "encoder_cores"), \
+            field($0, "decoder_cores"), field($0, "dram_gib_s") + 0, field($0, "refstore_kpix"))
+        obj[n, 1] = field($0, "perf_mpix_s_per_vcu") + 0
+        obj[n, 2] = field($0, "goodput_fault") + 0
+        obj[n, 3] = field($0, "perf_per_tco") + 0
+        obj[n, 4] = 1.0 / (1.0 + field($0, "p99_wait_s") + 0)
+        anchor[n] = field($0, "anchor") + 0
+        front[n] = field($0, "on_frontier") + 0
+        if (anchor[n]) anchors++
+    }
+    END {
+        if (n == 0) {
+            print "check_bench: no dse candidates in committed artifact" > "/dev/stderr"
+            exit 1
+        }
+        if (anchors != 1) {
+            printf "check_bench: expected exactly 1 shipped anchor, found %d\n", anchors > "/dev/stderr"
+            exit 1
+        }
+        # Recompute the frontier and match the committed flags.
+        frontier = 0
+        for (i = 1; i <= n; i++) {
+            dominated = 0
+            for (j = 1; j <= n; j++) {
+                if (i != j && dominates(j, i)) { dominated = 1; break }
+            }
+            if (front[i] != !dominated) {
+                printf "check_bench: dse %s on_frontier=%d but recomputation says %d\n", \
+                    label[i], front[i], !dominated > "/dev/stderr"
+                bad = 1
+            }
+            if (front[i]) frontier++
+            if (anchor[i]) {
+                a = i
+                if (!front[i]) {
+                    printf "check_bench: shipped anchor %s is off the frontier\n", label[i] > "/dev/stderr"
+                    bad = 1
+                }
+            }
+        }
+        # Anchor tolerance: nothing may dominate the anchor even after
+        # inflating its objectives by (1 + tol).
+        for (k = 1; k <= 4; k++) obj[0, k] = obj[a, k] * (1 + tol)
+        for (i = 1; i <= n; i++) {
+            if (i != a && dominates(i, 0)) {
+                printf "check_bench: dse %s dominates the shipped anchor beyond tol %.3f\n", \
+                    label[i], tol > "/dev/stderr"
+                bad = 1
+            }
+        }
+        printf "check_bench: dse %d candidates, %d on frontier, 0 skipped, anchor %s within tol %.3f\n", \
+            n, frontier, label[a], tol
+        exit bad
+    }
+' "$DSE_COMMITTED"

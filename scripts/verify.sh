@@ -93,6 +93,16 @@ stage_region_smoke() {
         | tail -n 3
 }
 
+# Smoke-run the chip design-space exploration: a seconds-long 3x3
+# sweep (encoder cores x DRAM bandwidth through the shipped point)
+# whose in-binary gates (byte-identity across executor parallelism,
+# shipped-VCU-on-frontier, no dominated point reported) keep the
+# co-design loop honest.
+stage_dse_smoke() {
+    VCU_BENCH_SMOKE=1 cargo run -q -p vcu-bench --release --offline --bin bench_dse \
+        | tail -n 3
+}
+
 # Compare a fresh smoke bench run against the committed results: a
 # >3x throughput regression on any stable row fails the build.
 stage_bench_gate() {
@@ -129,12 +139,13 @@ run_stage examples stage_examples
 run_stage bench_smoke stage_bench_smoke
 run_stage serve_smoke stage_serve_smoke
 run_stage region_smoke stage_region_smoke
+run_stage dse_smoke stage_dse_smoke
 run_stage bench_gate stage_bench_gate
 run_stage determinism stage_determinism
 run_stage simd_off stage_simd_off
 
 if [[ "$STAGES_RUN" -eq 0 ]]; then
-    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke serve_smoke region_smoke bench_gate determinism simd_off)" >&2
+    echo "no stage named '$STAGE_FILTER' (stages: fmt build test clippy examples bench_smoke serve_smoke region_smoke dse_smoke bench_gate determinism simd_off)" >&2
     exit 1
 fi
 echo "tier-1 verify: OK ($STAGES_RUN stages)"

@@ -935,3 +935,116 @@ mod region_scale {
         }
     }
 }
+
+// Pareto-frontier properties: the design-space sweep's dominance
+// relation and frontier extraction must behave like the textbook
+// definitions on arbitrary point sets, because the committed
+// `dse_frontier.json` flags are re-derived by an independent awk gate
+// in scripts/check_bench.sh — any disagreement between implementations
+// fails CI.
+mod dse_pareto {
+    use vcu_dse::{dominates, frontier_flags};
+    use vcu_rng::{prop_cases, Rng};
+
+    fn random_points(rng: &mut Rng, n: usize) -> Vec<[f64; 4]> {
+        (0..n)
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..10.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..500.0),
+                    rng.gen_range(0.0..1.0),
+                ]
+            })
+            .collect()
+    }
+
+    prop_cases! {
+        /// Frontier points are mutually non-dominating, and every
+        /// point left off the frontier is dominated by at least one
+        /// point on it.
+        #[cases(64)]
+        fn frontier_is_exactly_the_nondominated_set(rng) {
+            let n = rng.gen_range(1usize..60);
+            let pts = random_points(rng, n);
+            let flags = frontier_flags(&pts);
+            assert!(flags.iter().any(|&f| f), "frontier can never be empty");
+            for (i, &on_i) in flags.iter().enumerate() {
+                if on_i {
+                    for (j, &on_j) in flags.iter().enumerate() {
+                        if on_j && i != j {
+                            assert!(
+                                !dominates(&pts[i], &pts[j]),
+                                "frontier point {i} dominates frontier point {j}"
+                            );
+                        }
+                    }
+                } else {
+                    assert!(
+                        flags
+                            .iter()
+                            .enumerate()
+                            .any(|(j, &on_j)| on_j && dominates(&pts[j], &pts[i])),
+                        "off-frontier point {i} dominated by no frontier point"
+                    );
+                }
+            }
+        }
+
+        /// Appending a candidate that some existing point dominates
+        /// never changes any existing flag, and the newcomer lands off
+        /// the frontier.
+        #[cases(64)]
+        fn dominated_newcomer_changes_nothing(rng) {
+            let n = rng.gen_range(1usize..40);
+            let pts = random_points(rng, n);
+            let before = frontier_flags(&pts);
+            // Clone an arbitrary point and push every coordinate down:
+            // strictly dominated by its parent, so by transitivity it
+            // threatens no one.
+            let parent = pts[rng.gen_range(0usize..pts.len())];
+            let weaker = parent.map(|x| x * rng.gen_range(0.1..0.9));
+            assert!(dominates(&parent, &weaker));
+            let mut grown = pts.clone();
+            grown.push(weaker);
+            let after = frontier_flags(&grown);
+            assert_eq!(&after[..pts.len()], &before[..]);
+            assert!(!after[pts.len()], "dominated newcomer on frontier");
+        }
+
+        /// The frontier is a property of the set, not the enumeration
+        /// order: any rotation of the candidate list yields the same
+        /// rotated flags.
+        #[cases(64)]
+        fn frontier_is_order_invariant(rng) {
+            let n = rng.gen_range(2usize..40);
+            let pts = random_points(rng, n);
+            let flags = frontier_flags(&pts);
+            let cut = rng.gen_range(1usize..pts.len());
+            let rotated: Vec<[f64; 4]> =
+                pts[cut..].iter().chain(&pts[..cut]).copied().collect();
+            let rotated_flags = frontier_flags(&rotated);
+            let expect: Vec<bool> =
+                flags[cut..].iter().chain(&flags[..cut]).copied().collect();
+            assert_eq!(rotated_flags, expect, "rotation by {cut} changed the frontier");
+        }
+
+        /// Duplicate points are both kept: a tie is not a domination,
+        /// so exact copies of a frontier point all stay on it.
+        #[cases(32)]
+        fn ties_are_kept(rng) {
+            let n = rng.gen_range(1usize..30);
+            let pts = random_points(rng, n);
+            let flags = frontier_flags(&pts);
+            let pick = rng.gen_range(0usize..pts.len());
+            let mut grown = pts.clone();
+            grown.push(pts[pick]);
+            let after = frontier_flags(&grown);
+            assert_eq!(
+                after[pts.len()], flags[pick],
+                "an exact duplicate must share its twin's frontier status"
+            );
+            assert_eq!(&after[..pts.len()], &flags[..]);
+        }
+    }
+}
